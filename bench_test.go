@@ -1,0 +1,719 @@
+// Benchmarks regenerating every figure and quantitative claim of the
+// paper. Each benchmark runs the experiment in the timed loop and
+// prints its series/rows exactly once per process (so `go test
+// -bench=.` emits the reproduction tables alongside the timings).
+//
+// Experiment ids (F* = figures, E* = embedded quantitative claims)
+// follow DESIGN.md; EXPERIMENTS.md records paper-vs-measured values.
+package spiderfs_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"spiderfs/internal/benchsuite"
+	"spiderfs/internal/center"
+	"spiderfs/internal/disk"
+	"spiderfs/internal/failure"
+	"spiderfs/internal/iosi"
+	"spiderfs/internal/lustre"
+	"spiderfs/internal/monitor"
+	"spiderfs/internal/netsim"
+	"spiderfs/internal/placement"
+	"spiderfs/internal/procure"
+	"spiderfs/internal/provision"
+	"spiderfs/internal/purge"
+	"spiderfs/internal/qa"
+	"spiderfs/internal/raid"
+	"spiderfs/internal/rng"
+	"spiderfs/internal/sim"
+	"spiderfs/internal/stats"
+	"spiderfs/internal/tools"
+	"spiderfs/internal/topology"
+	"spiderfs/internal/workload"
+)
+
+var printGate sync.Map
+
+// printOnce emits a reproduction table exactly once per experiment id,
+// no matter how many times the benchmark framework re-invokes the
+// function while calibrating b.N.
+func printOnce(id, body string) {
+	if _, loaded := printGate.LoadOrStore(id, true); loaded {
+		return
+	}
+	fmt.Printf("\n--- %s ---\n%s", id, body)
+}
+
+// ---------------------------------------------------------------- F2
+
+func BenchmarkFig2RouterPlacement(b *testing.B) {
+	var spread, zoned, clumpedD float64
+	var p topology.Placement
+	for i := 0; i < b.N; i++ {
+		p = topology.PlaceRouters(topology.TitanCabinets(), topology.TitanTorus(), 110, 9)
+		spread = p.MeanClientRouterDistance(false)
+		zoned = p.MeanClientRouterDistance(true)
+		clumped := p
+		clumped.Modules = append([]topology.IOModule(nil), p.Modules...)
+		for j := range clumped.Modules {
+			clumped.Modules[j].Coord = topology.Coord{X: 0, Y: 0, Z: j % 24}
+		}
+		clumpedD = clumped.MeanClientRouterDistance(false)
+	}
+	printOnce("F2 router placement (Fig. 2)", p.RenderXYMap()+
+		fmt.Sprintf("mean client->router hops: %.2f spread / %.2f FGR-zoned / %.2f clumped\n",
+			spread, zoned, clumpedD))
+	b.ReportMetric(spread, "hops")
+}
+
+// ---------------------------------------------------------------- F3
+
+func fig3Sweep() []workload.IORResult {
+	sizes := []int64{64 << 10, 256 << 10, 1 << 20, 4 << 20}
+	out := make([]workload.IORResult, 0, len(sizes))
+	for i, sz := range sizes {
+		c := center.New(center.Config{Small: true, Namespaces: 1, Seed: uint64(300 + i)})
+		out = append(out, c.RunIOR(0, workload.IORConfig{
+			Clients:      32,
+			TransferSize: sz,
+			StoneWall:    300 * sim.Millisecond,
+		}))
+	}
+	return out
+}
+
+func BenchmarkFig3TransferSize(b *testing.B) {
+	var res []workload.IORResult
+	for i := 0; i < b.N; i++ {
+		res = fig3Sweep()
+	}
+	body := fmt.Sprintf("%-10s %12s\n", "xfer", "agg MB/s")
+	var peak float64
+	var peakAt int64
+	for _, r := range res {
+		body += fmt.Sprintf("%-10d %12.1f\n", r.Transfer, r.AggregateBps/1e6)
+		if r.AggregateBps > peak {
+			peak, peakAt = r.AggregateBps, r.Transfer
+		}
+	}
+	body += fmt.Sprintf("knee at %d bytes; plateau beyond the 1 MiB wire-RPC cap (paper: best at 1 MiB, mild decline after)\n", peakAt)
+	printOnce("F3 IOR bandwidth vs transfer size (Fig. 3)", body)
+	b.ReportMetric(peak/1e9, "peak-GB/s")
+}
+
+// ---------------------------------------------------------------- F4
+
+func fig4Sweep() []workload.IORResult {
+	counts := []int{2, 4, 8, 16, 32, 64, 128}
+	out := make([]workload.IORResult, 0, len(counts))
+	for i, n := range counts {
+		c := center.New(center.Config{Small: true, Namespaces: 1, Seed: uint64(400 + i)})
+		out = append(out, c.RunIOR(0, workload.IORConfig{
+			Clients:      n,
+			TransferSize: 1 << 20,
+			StoneWall:    300 * sim.Millisecond,
+		}))
+	}
+	return out
+}
+
+func BenchmarkFig4ClientScaling(b *testing.B) {
+	var res []workload.IORResult
+	for i := 0; i < b.N; i++ {
+		res = fig4Sweep()
+	}
+	body := fmt.Sprintf("%-10s %12s\n", "clients", "agg MB/s")
+	var plateau float64
+	for _, r := range res {
+		body += fmt.Sprintf("%-10d %12.1f\n", r.Clients, r.AggregateBps/1e6)
+		if r.AggregateBps > plateau {
+			plateau = r.AggregateBps
+		}
+	}
+	body += "shape: near-linear scaling then a controller-bound plateau (paper: linear to ~6,000 clients, then steady)\n"
+	printOnce("F4 IOR bandwidth vs client count (Fig. 4)", body)
+	b.ReportMetric(plateau/1e9, "plateau-GB/s")
+}
+
+// ---------------------------------------------------------------- E1
+
+func BenchmarkE1WorkloadMix(b *testing.B) {
+	var tr *workload.MixedTrace
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		fs := lustre.Build(eng, lustre.TestNamespace(), rng.New(500))
+		cfg := workload.DefaultMixed()
+		cfg.Duration = 3 * sim.Second
+		cfg.MeanArrival = 4 * sim.Millisecond
+		cfg.LargeMaxUnits = 4
+		tr = workload.RunMixed(fs, cfg, rng.New(501))
+	}
+	small, large := 0, 0
+	for _, s := range tr.Sizes {
+		if s <= 16<<10 {
+			small++
+		} else if s >= 1<<20 {
+			large++
+		}
+	}
+	// Fit the Pareto tail above the median gap: the merged arrival
+	// process of many streams is heavy-tailed in its tail, not its body.
+	fit := stats.FitPareto(tr.InterArrivals, stats.Percentile(tr.InterArrivals, 0.5))
+	n := float64(len(tr.Sizes))
+	printOnce("E1 workload characterization (paper Sec. II)", fmt.Sprintf(
+		"write fraction: %.2f (paper: 0.60)\nsize modality: %.0f%% <=16KiB, %.0f%% >=1MiB (paper: bimodal)\ninter-arrival Pareto tail alpha: %.2f over %d tail gaps (paper: long-tail Pareto)\n",
+		tr.WriteFraction(), 100*float64(small)/n, 100*float64(large)/n, fit.Alpha, fit.N))
+	b.ReportMetric(tr.WriteFraction(), "write-frac")
+}
+
+// ---------------------------------------------------------------- E2
+
+func BenchmarkE2CheckpointSizing(b *testing.B) {
+	var seq, rnd float64
+	var res workload.CheckpointResult
+	for i := 0; i < b.N; i++ {
+		seq = procure.CheckpointBandwidth(600e12, 0.75, 6*sim.Minute)
+		rnd = procure.RandomDerate(1e12, 0.24)
+		c := center.New(center.Config{Small: true, Namespaces: 1, Seed: 600})
+		res = workload.RunCheckpoint(c.Namespaces[0], workload.CheckpointConfig{
+			Writers: 64, BytesPerRank: 16 << 20, TransferSize: 1 << 20,
+		})
+	}
+	printOnce("E2 checkpoint sizing (paper Sec. III-A)", fmt.Sprintf(
+		"75%% of 600 TB in 6 min -> %.2f TB/s (paper: the 1 TB/s class requirement)\nrandom derate at 24%% -> %.0f GB/s (paper: 240 GB/s)\nsimulated miniature checkpoint: %.2f GB/s on 2/56-scale controllers\n",
+		seq/1e12, rnd/1e9, res.AggregateBps/1e9))
+	b.ReportMetric(seq/1e12, "TB/s-req")
+}
+
+// ---------------------------------------------------------------- E3
+
+func BenchmarkE3SlowDiskRounds(b *testing.B) {
+	var rep qa.Report
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		dcfg := disk.NLSAS2TB()
+		dcfg.Capacity = 1 << 30
+		groups := raid.BuildGroups(eng, 32, raid.Spider2Group(), dcfg, disk.DefaultPopulation(), rng.New(700))
+		cfg := qa.DefaultElimination()
+		cfg.BenchBytes = 32 << 20
+		rep = qa.RunElimination(eng, groups, cfg, rng.New(701))
+	}
+	body := ""
+	for _, r := range rep.Rounds {
+		body += fmt.Sprintf("round %d: mean %.0f MB/s, spread %.1f%%, replaced %d\n",
+			r.Index, r.MeanMBps, r.Spread*100, r.Replaced)
+	}
+	body += fmt.Sprintf("%v\n(paper: ~1,500 + ~500 of 20,160 drives replaced; 5%%->7.5%% envelope)\n", rep)
+	printOnce("E3 slow-disk elimination (paper Sec. V-A)", body)
+	b.ReportMetric(float64(rep.TotalReplaced)/320, "replaced-frac")
+}
+
+// ---------------------------------------------------------------- E4
+
+func BenchmarkE4FGRvsNaive(b *testing.B) {
+	run := func(mode netsim.RouteMode, seed uint64) (sim.Time, netsim.CongestionReport) {
+		eng := sim.NewEngine()
+		cfg := netsim.Spider2Fabric()
+		cfg.Torus = topology.Torus{NX: 5, NY: 4, NZ: 4}
+		pl := topology.PlaceRouters(topology.CabinetGrid{Cols: 5, Rows: 2}, cfg.Torus, 16, 4)
+		f := netsim.NewFabric(eng, cfg, pl, 32)
+		src := rng.New(seed)
+		for i := 0; i < 48; i++ {
+			c := cfg.Torus.CoordOf((i * 7) % cfg.Torus.Nodes())
+			f.Net.StartFlow(f.ClientPath(c, i%32, mode, src), 1e9, nil)
+		}
+		eng.Run()
+		return eng.Now(), f.Congestion(eng.Now())
+	}
+	var fgrT, naiveT sim.Time
+	var fgrRep, naiveRep netsim.CongestionReport
+	for i := 0; i < b.N; i++ {
+		fgrT, fgrRep = run(netsim.RouteFGR, 800)
+		naiveT, naiveRep = run(netsim.RouteNaive, 800)
+	}
+	printOnce("E4 fine-grained routing (paper Sec. V-B)", fmt.Sprintf(
+		"48 streams x 1 GB each:\n  FGR:   %v, hottest link %.2f (%s), core bytes %.1e\n  naive: %v, hottest link %.2f (%s), core bytes %.1e\nFGR finishes %.2fx sooner and keeps traffic off the core\n",
+		fgrT, fgrRep.MaxUtilization, fgrRep.HotLink, fgrRep.CoreBytes,
+		naiveT, naiveRep.MaxUtilization, naiveRep.HotLink, naiveRep.CoreBytes,
+		float64(naiveT)/float64(fgrT)))
+	b.ReportMetric(float64(naiveT)/float64(fgrT), "speedup")
+}
+
+// ---------------------------------------------------------------- E5
+
+func e5Run(balanced bool) float64 {
+	eng := sim.NewEngine()
+	p := lustre.TestNamespace()
+	p.NumSSU = 2
+	p.OSTsPerSSU = 4
+	p.OSSPerSSU = 2
+	fs := lustre.Build(eng, p, rng.New(900))
+	noise := lustre.NewClient(1000, topology.Coord{}, fs, lustre.NullTransport{Eng: eng})
+	var noiseFiles []*lustre.File
+	// Three competing streams per hot OST: a heavily contended SSU, as
+	// in the paper's synthetic experiments.
+	for i := 0; i < 12; i++ {
+		fs.CreateOn(fmt.Sprintf("noise/%d", i), []int{i % 4}, func(f *lustre.File) {
+			noiseFiles = append(noiseFiles, f)
+		})
+	}
+	eng.Run()
+	for _, f := range noiseFiles {
+		noise.WriteUntil(f, eng.Now()+2*sim.Second, 1<<20, nil)
+	}
+	eng.RunUntil(eng.Now() + 50*sim.Millisecond)
+	var job *lustre.File
+	if balanced {
+		placement.New(fs, placement.Weights{}).CreateBalanced("job/out", 2, func(f *lustre.File) { job = f })
+	} else {
+		fs.CreateOn("job/out", []int{0, 1}, func(f *lustre.File) { job = f })
+	}
+	eng.RunUntil(eng.Now() + 10*sim.Millisecond)
+	client := lustre.NewClient(0, topology.Coord{}, fs, lustre.NullTransport{Eng: eng})
+	start := eng.Now()
+	var doneAt sim.Time
+	client.WriteStream(job, 32<<20, 1<<20, func(int64) { doneAt = eng.Now() })
+	eng.Run()
+	return float64(32<<20) / (doneAt - start).Seconds()
+}
+
+// e5S3D runs the §VI-A production case: the S3D combustion code in a
+// noisy environment, with and without the libPIO create hook.
+func e5S3D(balanced bool) float64 {
+	eng := sim.NewEngine()
+	p := lustre.TestNamespace()
+	p.NumSSU = 2
+	p.OSTsPerSSU = 4
+	p.OSSPerSSU = 2
+	fs := lustre.Build(eng, p, rng.New(901))
+	noise := lustre.NewClient(999, topology.Coord{}, fs, lustre.NullTransport{Eng: eng})
+	var noiseFiles []*lustre.File
+	for i := 0; i < 12; i++ {
+		fs.CreateOn(fmt.Sprintf("noise/%d", i), []int{i % 4}, func(f *lustre.File) {
+			noiseFiles = append(noiseFiles, f)
+		})
+	}
+	eng.Run()
+	for _, f := range noiseFiles {
+		noise.WriteUntil(f, eng.Now()+10*sim.Second, 1<<20, nil)
+	}
+	eng.RunUntil(eng.Now() + 50*sim.Millisecond)
+	cfg := workload.S3DConfig{Ranks: 8, DumpBytes: 64 << 20, Dumps: 2, ComputePhase: 200 * sim.Millisecond}
+	if balanced {
+		bal := placement.New(fs, placement.Weights{})
+		cfg.CreateFile = func(fs *lustre.FS, path string, sc int, done func(*lustre.File)) {
+			bal.CreateBalanced(path, sc, done)
+		}
+	}
+	return workload.RunS3D(fs, cfg).DumpBps
+}
+
+func BenchmarkE5LibPIO(b *testing.B) {
+	var def, bal, s3dDef, s3dBal float64
+	for i := 0; i < b.N; i++ {
+		def = e5Run(false)
+		bal = e5Run(true)
+		s3dDef = e5S3D(false)
+		s3dBal = e5S3D(true)
+	}
+	printOnce("E5 libPIO balanced placement (paper Sec. VI-A)", fmt.Sprintf(
+		"synthetic job under contention: default %.0f MB/s, libPIO %.0f MB/s -> +%.0f%% (paper: >70%%)\nS3D dumps in production noise: default %.0f MB/s, libPIO %.0f MB/s -> +%.0f%% (paper: ~24%%)\n",
+		def/1e6, bal/1e6, (bal/def-1)*100,
+		s3dDef/1e6, s3dBal/1e6, (s3dBal/s3dDef-1)*100))
+	b.ReportMetric((bal/def-1)*100, "gain-%")
+}
+
+// ---------------------------------------------------------------- E6
+
+func BenchmarkE6DataCentric(b *testing.B) {
+	var dc, ex center.WorkflowResult
+	var cmp procure.ModelComparison
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		shared := lustre.Build(eng, lustre.TestNamespace(), rng.New(1000))
+		dc = center.DataCentricWorkflow(shared, 256<<20, 4, 4)
+		eng2 := sim.NewEngine()
+		simFS := lustre.Build(eng2, lustre.TestNamespace(), rng.New(1001))
+		p := lustre.TestNamespace()
+		p.Name = "viz"
+		vizFS := lustre.Build(eng2, p, rng.New(1002))
+		ex = center.ExclusiveWorkflow(simFS, vizFS, 256<<20, 4, 4, 10e9)
+		cmp = procure.CompareModels([]procure.Platform{
+			{Name: "titan", MemBytes: 710e12, WorkflowShareBytes: 100e12},
+			{Name: "analysis", MemBytes: 30e12, WorkflowShareBytes: 20e12},
+			{Name: "viz", MemBytes: 20e12, WorkflowShareBytes: 10e12},
+			{Name: "dtn", MemBytes: 10e12, WorkflowShareBytes: 5e12},
+		}, procure.Spider2SSU(), 10e9)
+	}
+	printOnce("E6 data-centric vs machine-exclusive (paper Secs. II, VII)", fmt.Sprintf(
+		"workflow: data-centric %v vs exclusive %v (transfer %v, %d MiB moved)\nacquisition: %v\n",
+		dc.Total, ex.Total, ex.TransferTime, ex.BytesMoved>>20, cmp))
+	b.ReportMetric(float64(ex.Total)/float64(dc.Total), "exclusive/dc-time")
+}
+
+// ---------------------------------------------------------------- E7
+
+func BenchmarkE7FillLevel(b *testing.B) {
+	fills := []float64{0.10, 0.50, 0.70, 0.90}
+	rates := make([]float64, len(fills))
+	for i := 0; i < b.N; i++ {
+		for j, fill := range fills {
+			eng := sim.NewEngine()
+			fs := lustre.Build(eng, lustre.TestNamespace(), rng.New(uint64(1100+j)))
+			for _, ost := range fs.OSTs {
+				ost.SetFill(fill)
+			}
+			client := lustre.NewClient(0, topology.Coord{}, fs, lustre.NullTransport{Eng: eng})
+			var f *lustre.File
+			fs.Create("fill/test", 4, func(file *lustre.File) { f = file })
+			eng.Run()
+			// Sustained rate: time until the data is on the platters
+			// (drain included) — the write-back cache would otherwise
+			// hide the fragmentation cost of a full file system.
+			start := eng.Now()
+			client.WriteStream(f, 64<<20, 1<<20, nil)
+			eng.Run()
+			rates[j] = float64(64<<20) / (eng.Now() - start).Seconds() / 1e6
+		}
+	}
+	body := fmt.Sprintf("%-8s %12s\n", "fill", "write MB/s")
+	for j, fill := range fills {
+		body += fmt.Sprintf("%-8.0f%% %12.1f\n", fill*100, rates[j])
+	}
+	body += "(paper: severe degradation past 70% full; visible effects past 50%)\n"
+	printOnce("E7 fill-level degradation (paper Secs. IV-C, VI-C)", body)
+	b.ReportMetric(rates[0]/rates[len(rates)-1], "empty/full-ratio")
+}
+
+// ---------------------------------------------------------------- E8
+
+func e8Run(layout raid.EnclosureLayout, seed uint64) failure.IncidentReport {
+	eng := sim.NewEngine()
+	dcfg := disk.NLSAS2TB()
+	dcfg.Capacity = 64 << 20
+	groups := raid.BuildGroups(eng, 4, raid.Spider2Group(), dcfg, disk.DefaultPopulation(), rng.New(seed))
+	for _, g := range groups {
+		g.RebuildPause = 30 * sim.Minute
+		g.RebuildChunk = 8
+	}
+	c := raid.NewCouplet(eng, 0, layout, groups)
+	g := groups[0]
+	g.FailDisk(0)
+	repl := disk.New(eng, 9999, dcfg, disk.Nominal(), rng.New(seed).Split("r"))
+	g.StartRebuild(0, repl, nil)
+	c.ControllerFailover()
+	c.Journal.Log(1_000_000)
+	eng.RunFor(sim.Hour)
+	c.FailEnclosure(1)
+	eng.RunFor(17 * sim.Hour)
+	rep := failure.IncidentReport{JournalLost: c.TakeOffline()}
+	for _, gg := range c.Groups() {
+		if gg.State() == raid.Failed {
+			rep.GroupsFailed++
+		}
+	}
+	rep.FilesRecovered, rep.FilesLost = c.RecoverFiles(rng.New(seed).Split("rec"), 0.95)
+	return rep
+}
+
+func BenchmarkE8HumanError(b *testing.B) {
+	var s1, s2 failure.IncidentReport
+	for i := 0; i < b.N; i++ {
+		s1 = e8Run(raid.Spider1Layout(), 1200)
+		s2 = e8Run(raid.Spider2Layout(), 1201)
+	}
+	rate := 100 * float64(s1.FilesRecovered) / float64(s1.FilesRecovered+s1.FilesLost)
+	printOnce("E8 human-error incident (paper Sec. IV-E)", fmt.Sprintf(
+		"spider1 5x2 layout:  %d groups failed, %d journal entries lost, %.1f%% recovered (paper: >1M files, 95%%, two weeks)\nspider2 10x1 layout: %d groups failed (same operator actions tolerated)\n",
+		s1.GroupsFailed, s1.JournalLost, rate, s2.GroupsFailed))
+	b.ReportMetric(rate, "recovery-%")
+}
+
+// ---------------------------------------------------------------- E9
+
+func BenchmarkE9IOSI(b *testing.B) {
+	var sig iosi.Signature
+	const truePeriod = 3.0
+	for i := 0; i < b.N; i++ {
+		src := rng.New(1300)
+		var runs []iosi.Series
+		for r := 0; r < 4; r++ {
+			s := iosi.Series{Interval: 100 * sim.Millisecond}
+			lsrc := src.Split(fmt.Sprintf("r%d", r))
+			for k := 0; k < 400; k++ {
+				v := 3e9 * lsrc.Float64() // noisy shared-system floor
+				if k%30 < 4 {             // 3 s period, 0.4 s bursts
+					v += 40e9
+				}
+				s.Samples = append(s.Samples, v)
+			}
+			runs = append(runs, s)
+		}
+		sig = iosi.Extract(runs, 4)
+	}
+	printOnce("E9 IOSI signature extraction (paper Sec. VI-B)", fmt.Sprintf(
+		"true period 3 s -> extracted %v; burst volume %.1f GB; confidence %.2f\n",
+		sig.Period, sig.BurstVolume/1e9, sig.Confidence))
+	b.ReportMetric(sig.Period.Seconds()/truePeriod, "period-ratio")
+}
+
+// --------------------------------------------------------------- E10
+
+func BenchmarkE10ScalableTools(b *testing.B) {
+	var duS, duP tools.DUResult
+	var cpS, cpP tools.CopyResult
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		fs := lustre.Build(eng, lustre.TestNamespace(), rng.New(1400))
+		tools.Populate(fs, tools.TreeSpec{Dirs: 10, FilesPerDir: 20, FileSize: 4 << 20, StripeCount: 2})
+		eng.Run()
+		tools.SerialDU(fs, nil, func(r tools.DUResult) { duS = r })
+		eng.Run()
+		tools.LustreDU(fs, nil, func(r tools.DUResult) { duP = r })
+		eng.Run()
+		var files []*lustre.File
+		fs.Walk(nil, func(f *lustre.File) { files = append(files, f) })
+		files = files[:64]
+		tools.SerialCopy(fs, files, "cp-s", func(r tools.CopyResult) { cpS = r })
+		eng.Run()
+		tools.DCP(fs, files, "cp-p", 8, func(r tools.CopyResult) { cpP = r })
+		eng.Run()
+	}
+	printOnce("E10 scalable tools (paper Sec. VI-C)", fmt.Sprintf(
+		"du: %v with %d MDS ops -> LustreDU: %v with %d MDS ops (%.0fx)\ncp: %v -> dcp(8): %v (%.1fx)\n",
+		duS.Duration, duS.MDSOps, duP.Duration, duP.MDSOps,
+		float64(duS.Duration)/float64(duP.Duration),
+		cpS.Duration, cpP.Duration, float64(cpS.Duration)/float64(cpP.Duration)))
+	b.ReportMetric(float64(duS.Duration)/float64(duP.Duration), "du-speedup")
+}
+
+// --------------------------------------------------------------- E11
+
+func BenchmarkE11Namespaces(b *testing.B) {
+	var one, two center.MetadataLoadResult
+	for i := 0; i < b.N; i++ {
+		run := func(n int) center.MetadataLoadResult {
+			eng := sim.NewEngine()
+			var namespaces []*lustre.FS
+			for j := 0; j < n; j++ {
+				p := lustre.TestNamespace()
+				p.Name = fmt.Sprintf("ns%d", j)
+				namespaces = append(namespaces, lustre.Build(eng, p, rng.New(uint64(1500+j))))
+			}
+			return center.MetadataStorm(namespaces, 3000, 64)
+		}
+		one = run(1)
+		two = run(2)
+	}
+	printOnce("E11 single vs multiple namespaces (paper Sec. IV-C)", fmt.Sprintf(
+		"1 namespace:  %.0f metadata ops/s (MDS util %.2f), blast radius 100%%\n2 namespaces: %.0f metadata ops/s (MDS util %.2f), blast radius 50%%\n",
+		one.OpsPerSec, one.Utilization, two.OpsPerSec, two.Utilization))
+	b.ReportMetric(two.OpsPerSec/one.OpsPerSec, "split-gain")
+}
+
+// --------------------------------------------------------------- E12
+
+func BenchmarkE12BlockVsFS(b *testing.B) {
+	var over []benchsuite.Overhead
+	for i := 0; i < b.N; i++ {
+		sweep := benchsuite.Sweep{
+			RequestSizes: []int64{64 << 10, 1 << 20},
+			QueueDepths:  []int{8},
+			WriteFracs:   []float64{0, 1},
+			Random:       []bool{false, true},
+			CellDuration: 300 * sim.Millisecond,
+		}
+		eng := sim.NewEngine()
+		src := rng.New(1600)
+		g := raid.BuildGroups(eng, 1, raid.Spider2Group(), disk.NLSAS2TB(), disk.DefaultPopulation(), src.Split("g"))[0]
+		block := benchsuite.RunBlockLevel(eng, g, sweep, src.Split("b"))
+		fs := lustre.Build(eng, lustre.TestNamespace(), rng.New(1601))
+		fsc := benchsuite.RunFSLevel(fs, sweep, src.Split("f"))
+		over = benchsuite.CompareLevels(block, fsc)
+	}
+	body := fmt.Sprintf("%-24s %12s %12s %10s\n", "cell", "block MB/s", "fs MB/s", "overhead")
+	for _, o := range over {
+		body += fmt.Sprintf("%-24s %12.1f %12.1f %9.1f%%\n", o.Cell, o.BlockMBps, o.FSMBps, o.Frac*100)
+	}
+	body += "(the suite's purpose: comparing levels isolates file system software overhead)\n"
+	printOnce("E12 block vs FS level (paper Sec. III-B)", body)
+	b.ReportMetric(float64(len(over)), "cells")
+}
+
+// --------------------------------------------------------------- E13
+
+func BenchmarkE13Purge(b *testing.B) {
+	var deleted int64
+	var resident int64
+	var sweeps int
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		fs := lustre.Build(eng, lustre.TestNamespace(), rng.New(1700))
+		p := purge.New(fs, purge.Policy{MaxAge: 14 * sim.Day, Interval: sim.Day, Concurrency: 16})
+		p.Start()
+		day := 0
+		var producer func()
+		producer = func() {
+			if day >= 25 {
+				return
+			}
+			tools.Populate(fs, tools.TreeSpec{Dirs: 1, FilesPerDir: 20, FileSize: 8 << 20,
+				Root: fmt.Sprintf("day%02d", day)})
+			day++
+			eng.After(sim.Day, producer)
+		}
+		producer()
+		eng.RunUntil(25 * sim.Day)
+		p.Stop()
+		eng.Run()
+		deleted = p.Deleted
+		resident = fs.NumFiles
+		sweeps = len(p.Sweeps)
+	}
+	printOnce("E13 purge policy (paper Sec. IV-C)", fmt.Sprintf(
+		"25 days at 20 files/day under the 14-day policy: %d sweeps, %d deleted, %d resident (~15 days of production)\n",
+		sweeps, deleted, resident))
+	b.ReportMetric(float64(resident), "resident-files")
+}
+
+// --------------------------------------------------------------- E14
+
+func BenchmarkE14ControllerUpgrade(b *testing.B) {
+	var before, after float64
+	for i := 0; i < b.N; i++ {
+		run := func(up bool) float64 {
+			c := center.New(center.Config{Small: true, Namespaces: 1, Upgraded: up, Seed: 1800})
+			return c.RunIOR(0, workload.IORConfig{
+				Clients: 32, TransferSize: 1 << 20, StoneWall: sim.Second,
+			}).AggregateBps
+		}
+		before = run(false)
+		after = run(true)
+	}
+	printOnce("E14 controller upgrade (paper Sec. V-C)", fmt.Sprintf(
+		"pre-upgrade %.2f GB/s -> post-upgrade %.2f GB/s = %.2fx\n(paper: 320 -> 510 GB/s per namespace = 1.59x)\n",
+		before/1e9, after/1e9, after/before))
+	b.ReportMetric(after/before, "upgrade-ratio")
+}
+
+// --------------------------------------------------------------- E15
+
+func BenchmarkE15Monitoring(b *testing.B) {
+	var incidents int
+	var hwRoot int
+	var alerts int
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		fs := lustre.Build(eng, lustre.TestNamespace(), rng.New(1900))
+		sched := monitor.NewScheduler(eng)
+		for _, c := range monitor.StandardChecks(fs) {
+			sched.Add(c)
+		}
+		sched.Start()
+		coal := monitor.NewCoalescer(30 * sim.Second)
+		inj := failure.NewInjector(eng, fsGroupsOf(fs), failure.DiskFailureConfig{
+			AnnualFailureRate: 60, ReplaceDelay: 30 * sim.Minute,
+		}, rng.New(1901))
+		inj.Events = coal.Ingest
+		inj.Start()
+		failure.CableFlap(eng, coal.Ingest, "ib-leaf1", 2*sim.Hour)
+		for _, ost := range fs.OSTs {
+			ost.SetFill(0.75) // trip the fill warning
+		}
+		eng.RunUntil(12 * sim.Hour)
+		inj.Stop()
+		sched.Stop()
+		eng.Run()
+		coal.Close()
+		incidents = len(coal.Incidents)
+		hwRoot = 0
+		for _, inc := range coal.Incidents {
+			if inc.RootClass == monitor.Hardware {
+				hwRoot++
+			}
+		}
+		alerts = len(sched.Alerts)
+	}
+	printOnce("E15 monitoring pipeline (paper Sec. IV-A)", fmt.Sprintf(
+		"12 h with fault injection: %d coalesced incidents (%d hardware-rooted), %d check alerts\n",
+		incidents, hwRoot, alerts))
+	b.ReportMetric(float64(incidents), "incidents")
+}
+
+// ------------------------------------------------------------ hero run
+
+// BenchmarkHeroFabricRun is the end-to-end showcase: the full Titan
+// torus (9,600 Gemini nodes, 74 routers) feeding a 1/6-scale namespace
+// (3 SSUs, 168 OSTs, 1,680 drives) through FGR, 512 aggregated clients
+// writing 1 MiB stonewall — the closest this repo gets to the paper's
+// hero numbers in one simulation.
+func BenchmarkHeroFabricRun(b *testing.B) {
+	var agg float64
+	var rep netsim.CongestionReport
+	for i := 0; i < b.N; i++ {
+		c := center.New(center.Config{Scale: 6, Namespaces: 1, UseFabric: true,
+			RouteMode: netsim.RouteFGR, Seed: 2025})
+		res := c.RunIOR(0, workload.IORConfig{
+			Clients: 512, TransferSize: 1 << 20, StoneWall: 500 * sim.Millisecond,
+		})
+		agg = res.AggregateBps
+		rep = c.Fabric.Congestion(c.Eng.Now())
+	}
+	printOnce("HERO full-fabric run (Titan torus -> FGR -> 1/6-scale namespace)", fmt.Sprintf(
+		"512 clients, 1 MiB stonewall: %.1f GB/s at 1/6 scale -> %.0f GB/s namespace extrapolation\n"+
+			"(paper: 320 GB/s per namespace pre-upgrade); hottest link %.2f (%s), core bytes %.1e (FGR keeps the core dark)\n",
+		agg/1e9, agg*6/1e9, rep.MaxUtilization, rep.HotLink, rep.CoreBytes))
+	b.ReportMetric(agg*6/1e9, "namespace-GB/s")
+}
+
+// --------------------------------------------------------------- E17
+
+func BenchmarkE17LayerProfile(b *testing.B) {
+	var reports []qa.LayerReport
+	for i := 0; i < b.N; i++ {
+		reports = qa.ProfileLayers(lustre.TestNamespace(), 2050)
+	}
+	printOnce("E17 bottom-up layer profiling (paper Sec. V, Lesson 12)", qa.RenderLayers(reports)+
+		"each layer's expectation derives from the measured layer below; the efficiency column is the\n"+
+		"\"lost performance in traversing from one layer to the next\" the tuning methodology hunts\n")
+	worst := 1.0
+	for _, r := range reports {
+		if r.Efficiency < worst {
+			worst = r.Efficiency
+		}
+	}
+	b.ReportMetric(worst, "worst-layer-eff")
+}
+
+func fsGroupsOf(fs *lustre.FS) []*raid.Group {
+	out := make([]*raid.Group, 0, len(fs.OSTs))
+	for _, o := range fs.OSTs {
+		out = append(out, o.Group())
+	}
+	return out
+}
+
+// --------------------------------------------------------------- E16
+
+func BenchmarkE16Provisioning(b *testing.B) {
+	var dlTime, dfTime sim.Time
+	var dlConv, dfConv provision.ConvergeResult
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		dlTime, _ = provision.FleetBoot(eng, 288, provision.DisklessProfile(), provision.Spider2Scripts(), 64, rng.New(2000))
+		eng2 := sim.NewEngine()
+		dfTime, _ = provision.FleetBoot(eng2, 288, provision.DiskFullProfile(), provision.Spider2Scripts(), 64, rng.New(2000))
+		eng3 := sim.NewEngine()
+		dlConv = provision.Converge(eng3, 288, provision.Diskless, rng.New(2001))
+		eng4 := sim.NewEngine()
+		dfConv = provision.Converge(eng4, 288, provision.DiskFull, rng.New(2001))
+	}
+	saving := provision.NodeCost(provision.DiskFull) - provision.NodeCost(provision.Diskless)
+	printOnce("E16 diskless provisioning (paper Sec. IV-A)", fmt.Sprintf(
+		"288-node fleet boot: diskless %v vs disk-full %v\nconfig converge: diskless %v (%d failures) vs disk-full %v (%d failures)\nhardware saving: $%.0f/node x 728 server+router nodes = $%.1fM\n",
+		dlTime, dfTime, dlConv.Duration, dlConv.Failures, dfConv.Duration, dfConv.Failures,
+		saving, saving*728/1e6))
+	b.ReportMetric(float64(dfTime)/float64(dlTime), "boot-speedup")
+}

@@ -1,0 +1,44 @@
+// Command benchsuite runs the acquisition benchmark suite (§III-B):
+// the full parameter-space sweep at block level and file-system level,
+// and the derived software-overhead table.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"spiderfs/internal/benchsuite"
+	"spiderfs/internal/disk"
+	"spiderfs/internal/lustre"
+	"spiderfs/internal/raid"
+	"spiderfs/internal/rng"
+	"spiderfs/internal/sim"
+)
+
+func main() {
+	cellSec := flag.Float64("cell", 1.0, "seconds per sweep cell (simulated)")
+	seed := flag.Uint64("seed", 42, "random seed")
+	flag.Parse()
+
+	sweep := benchsuite.DefaultSweep()
+	sweep.CellDuration = sim.FromSeconds(*cellSec)
+
+	eng := sim.NewEngine()
+	src := rng.New(*seed)
+	g := raid.BuildGroups(eng, 1, raid.Spider2Group(), disk.NLSAS2TB(),
+		disk.DefaultPopulation(), src.Split("grp"))[0]
+	fmt.Println("== block level (fair-lio over one RAID-6 8+2 LUN) ==")
+	block := benchsuite.RunBlockLevel(eng, g, sweep, src.Split("blk"))
+	fmt.Print(benchsuite.Render(block))
+
+	fs := lustre.Build(eng, lustre.TestNamespace(), rng.New(*seed+1))
+	fmt.Println("\n== file system level (obdfilter-style over the OST stack) ==")
+	fsCells := benchsuite.RunFSLevel(fs, sweep, src.Split("fs"))
+	fmt.Print(benchsuite.Render(fsCells))
+
+	fmt.Println("\n== software overhead (1 - fs/block) ==")
+	fmt.Printf("%-24s %12s %12s %10s\n", "cell", "block MB/s", "fs MB/s", "overhead")
+	for _, o := range benchsuite.CompareLevels(block, fsCells) {
+		fmt.Printf("%-24s %12.1f %12.1f %9.1f%%\n", o.Cell, o.BlockMBps, o.FSMBps, o.Frac*100)
+	}
+}

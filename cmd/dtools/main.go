@@ -1,0 +1,65 @@
+// Command dtools benchmarks the parallel file tools (dcp, dfind, dtar)
+// against their single-threaded baselines on a populated namespace
+// (§VI-C: "standard Linux tools do not work well at scale").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"spiderfs/internal/lustre"
+	"spiderfs/internal/rng"
+	"spiderfs/internal/sim"
+	"spiderfs/internal/tools"
+)
+
+func main() {
+	dirs := flag.Int("dirs", 8, "directories")
+	filesPer := flag.Int("files", 16, "files per directory")
+	fileMB := flag.Int64("filemb", 8, "file size in MiB")
+	workers := flag.Int("workers", 8, "parallel tool worker count")
+	seed := flag.Uint64("seed", 42, "random seed")
+	flag.Parse()
+
+	eng := sim.NewEngine()
+	fs := lustre.Build(eng, lustre.TestNamespace(), rng.New(*seed))
+	tools.Populate(fs, tools.TreeSpec{
+		Dirs: *dirs, FilesPerDir: *filesPer, FileSize: *fileMB << 20, StripeCount: 2,
+	})
+	eng.Run()
+	var files []*lustre.File
+	fs.Walk(nil, func(f *lustre.File) { files = append(files, f) })
+	fmt.Printf("namespace: %d files, %.1f GiB\n\n", len(files), float64(fs.TotalUsed())/(1<<30))
+	fmt.Printf("%-8s %14s %14s %9s\n", "tool", "serial", fmt.Sprintf("parallel(x%d)", *workers), "speedup")
+
+	// find
+	pred := func(f *lustre.File) bool { return strings.HasSuffix(f.Path, "1") }
+	var sf, pf tools.FindResult
+	tools.SerialFind(fs, nil, pred, func(r tools.FindResult) { sf = r })
+	eng.Run()
+	tools.DFind(fs, nil, pred, *workers, func(r tools.FindResult) { pf = r })
+	eng.Run()
+	row("find", sf.Duration, pf.Duration)
+
+	// cp
+	var sc, pc tools.CopyResult
+	tools.SerialCopy(fs, files, "dst-serial", func(r tools.CopyResult) { sc = r })
+	eng.Run()
+	tools.DCP(fs, files, "dst-dcp", *workers, func(r tools.CopyResult) { pc = r })
+	eng.Run()
+	row("cp", sc.Duration, pc.Duration)
+
+	// tar
+	var st, pt tools.TarResult
+	tools.SerialTar(fs, files, "arch/serial.tar", func(r tools.TarResult) { st = r })
+	eng.Run()
+	tools.DTar(fs, files, "arch/par.tar", *workers, func(r tools.TarResult) { pt = r })
+	eng.Run()
+	row("tar", st.Duration, pt.Duration)
+}
+
+func row(name string, serial, parallel sim.Time) {
+	fmt.Printf("%-8s %14v %14v %8.1fx\n", name, serial, parallel,
+		float64(serial)/float64(parallel))
+}

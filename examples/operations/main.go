@@ -1,0 +1,110 @@
+// Operations: a day in the life of the Spider operations team. Runs the
+// monitoring stack (checks, controller pollers, event coalescing), a
+// background disk-failure process with automatic rebuilds, production
+// I/O, and the nightly purge — all on one engine, printing the
+// operational picture at the end.
+package main
+
+import (
+	"fmt"
+
+	"spiderfs/internal/failure"
+	"spiderfs/internal/lustre"
+	"spiderfs/internal/monitor"
+	"spiderfs/internal/purge"
+	"spiderfs/internal/raid"
+	"spiderfs/internal/rng"
+	"spiderfs/internal/sim"
+	"spiderfs/internal/tools"
+	"spiderfs/internal/topology"
+)
+
+func main() {
+	eng := sim.NewEngine()
+	src := rng.New(2026)
+	fs := lustre.Build(eng, lustre.TestNamespace(), src.Split("fs"))
+
+	// Monitoring: standard checks + controller pollers + coalescer.
+	sched := monitor.NewScheduler(eng)
+	for _, c := range monitor.StandardChecks(fs) {
+		sched.Add(c)
+	}
+	sched.Start()
+	store := monitor.NewStore(100000)
+	poller := monitor.NewControllerPoller(eng, store, fs.Ctrls, 10*sim.Second)
+	coal := monitor.NewCoalescer(30 * sim.Second)
+
+	// Fault injection: an aggressive failure rate so a day shows action,
+	// plus one cable flap.
+	inj := failure.NewInjector(eng, fsGroups(fs), failure.DiskFailureConfig{
+		AnnualFailureRate: 40, ReplaceDelay: 30 * sim.Minute,
+	}, src.Split("faults"))
+	inj.Events = coal.Ingest
+	inj.Start()
+	failure.CableFlap(eng, coal.Ingest, "ib-leaf2-port14", 6*sim.Hour)
+
+	// Production: periodic job output + nightly purge (1-day retention
+	// so a single simulated day shows deletions).
+	client := lustre.NewClient(0, topology.Coord{}, fs, lustre.NullTransport{Eng: eng})
+	hour := 0
+	var produce func()
+	produce = func() {
+		if hour >= 20 {
+			return
+		}
+		tools.Populate(fs, tools.TreeSpec{Dirs: 1, FilesPerDir: 10, FileSize: 32 << 20,
+			Root: fmt.Sprintf("job-h%02d", hour)})
+		fs.Create(fmt.Sprintf("live/h%02d", hour), 2, func(file *lustre.File) {
+			client.WriteStream(file, 64<<20, 1<<20, nil)
+		})
+		hour++
+		eng.After(sim.Hour, produce)
+	}
+	produce()
+
+	purger := purge.New(fs, purge.Policy{MaxAge: 8 * sim.Hour, Interval: 6 * sim.Hour, Concurrency: 8})
+	purger.Start()
+
+	// Run one simulated day.
+	eng.RunUntil(24 * sim.Hour)
+	inj.Stop()
+	purger.Stop()
+	poller.Stop()
+	sched.Stop()
+	eng.Run()
+	coal.Close()
+
+	fmt.Println("=== operations summary after 24 simulated hours ===")
+	fmt.Printf("disk failures: %d (rebuilds started: %d, data loss events: %d)\n",
+		inj.Failures, inj.Rebuilds, inj.DataLoss)
+	fmt.Printf("monitoring: %d check executions, %d alerts, worst level now: %v\n",
+		sched.Runs, len(sched.Alerts), sched.WorstLevel())
+	for _, a := range sched.Alerts {
+		fmt.Printf("  alert at %v: %s %v->%v (%s)\n", a.At, a.Check, a.From, a.To, a.Message)
+	}
+	fmt.Printf("incidents (coalesced): %d\n", len(coal.Incidents))
+	for _, inc := range coal.Incidents {
+		fmt.Printf("  [%v - %v] root=%v components=%v events=%d\n",
+			inc.Start, inc.End, inc.RootClass, inc.Components, len(inc.Events))
+	}
+	fmt.Printf("purge: %d sweeps, %d files deleted, %.1f GiB freed\n",
+		len(purger.Sweeps), purger.Deleted, float64(purger.Freed)/(1<<30))
+	fmt.Printf("namespace: %d files resident, %.2f%% full\n", fs.NumFiles, fs.Fill()*100)
+	bps := store.Series("ctrl0.write_bps")
+	var peak float64
+	for _, p := range bps.Points {
+		if p.Value > peak {
+			peak = p.Value
+		}
+	}
+	fmt.Printf("controller poller: %d samples, peak write rate %.1f MB/s\n",
+		poller.Samples, peak/1e6)
+}
+
+func fsGroups(fs *lustre.FS) []*raid.Group {
+	out := make([]*raid.Group, 0, len(fs.OSTs))
+	for _, o := range fs.OSTs {
+		out = append(out, o.Group())
+	}
+	return out
+}

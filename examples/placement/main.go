@@ -1,0 +1,71 @@
+// Placement: the libPIO story (§VI-A). A namespace is under background
+// contention on part of its hardware; a job placed by the default
+// round-robin allocator lands on the hot components while the
+// load-aware balancer steers around them — the >70% synthetic gain the
+// paper reports, via a "30-line" API swap (here: one call).
+package main
+
+import (
+	"fmt"
+
+	"spiderfs/internal/lustre"
+	"spiderfs/internal/placement"
+	"spiderfs/internal/rng"
+	"spiderfs/internal/sim"
+	"spiderfs/internal/topology"
+)
+
+func run(balanced bool) float64 {
+	eng := sim.NewEngine()
+	p := lustre.TestNamespace()
+	p.NumSSU = 2
+	p.OSTsPerSSU = 4
+	p.OSSPerSSU = 2
+	fs := lustre.Build(eng, p, rng.New(99))
+
+	// Background contention: three streams per OST hammer SSU 0.
+	noise := lustre.NewClient(1000, topology.Coord{}, fs, lustre.NullTransport{Eng: eng})
+	var noiseFiles []*lustre.File
+	for i := 0; i < 12; i++ {
+		fs.CreateOn(fmt.Sprintf("noise/%d", i), []int{i % 4}, func(f *lustre.File) {
+			noiseFiles = append(noiseFiles, f)
+		})
+	}
+	eng.Run()
+	for _, f := range noiseFiles {
+		noise.WriteUntil(f, eng.Now()+5*sim.Second, 1<<20, nil)
+	}
+	eng.RunUntil(eng.Now() + 50*sim.Millisecond)
+
+	// Our job: with libPIO (balanced) or with a load-blind placement.
+	var job *lustre.File
+	if balanced {
+		b := placement.New(fs, placement.Weights{})
+		b.CreateBalanced("job/out", 2, func(f *lustre.File) { job = f })
+	} else {
+		fs.CreateOn("job/out", []int{0, 1}, func(f *lustre.File) { job = f })
+	}
+	eng.RunUntil(eng.Now() + 10*sim.Millisecond)
+
+	client := lustre.NewClient(0, topology.Coord{}, fs, lustre.NullTransport{Eng: eng})
+	start := eng.Now()
+	total := int64(64 << 20)
+	var doneAt sim.Time
+	client.WriteStream(job, total, 1<<20, func(int64) { doneAt = eng.Now() })
+	eng.Run()
+	bps := float64(total) / (doneAt - start).Seconds()
+	where := "default placement (hot OSTs)"
+	if balanced {
+		where = fmt.Sprintf("libPIO placement -> OSTs %v", job.OSTIndices)
+	}
+	fmt.Printf("%-40s %8.1f MB/s\n", where, bps/1e6)
+	return bps
+}
+
+func main() {
+	fmt.Println("64 MiB job write under background contention on half the system:")
+	def := run(false)
+	bal := run(true)
+	fmt.Printf("\nimprovement: %.0f%% (paper: >70%% synthetic per-job gain under contention)\n",
+		(bal/def-1)*100)
+}

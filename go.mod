@@ -1,0 +1,3 @@
+module spiderfs
+
+go 1.22

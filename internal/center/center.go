@@ -1,0 +1,335 @@
+// Package center assembles the complete OLCF model: Titan's torus and
+// clients, the SION fabric with LNET routers, and the Spider II
+// namespaces — the data-centric architecture the paper advocates — plus
+// the machine-exclusive alternative it was weighed against. The top
+// experiments (data-centric vs exclusive workflows, single vs multiple
+// namespaces, controller upgrades) run at this level.
+package center
+
+import (
+	"fmt"
+
+	"spiderfs/internal/lustre"
+	"spiderfs/internal/netsim"
+	"spiderfs/internal/rng"
+	"spiderfs/internal/sim"
+	"spiderfs/internal/topology"
+	"spiderfs/internal/workload"
+)
+
+// Config shapes a center build.
+type Config struct {
+	// Scale divides the Spider II hardware (18/Scale SSUs per
+	// namespace) and the router fleet, keeping per-SSU behaviour and
+	// ratios intact while bounding event counts.
+	Scale int
+	// Namespaces is how many independent Lustre namespaces share the
+	// hardware (Spider II ran two).
+	Namespaces int
+	// UseFabric wires clients through the Gemini+SION network; without
+	// it clients attach with a null transport (storage-stack studies).
+	UseFabric bool
+	RouteMode netsim.RouteMode
+	// Upgraded selects the post-§V-C controller.
+	Upgraded bool
+	Seed     uint64
+	// Small selects a reduced torus/cabinet topology for unit tests.
+	Small bool
+}
+
+// Center is the assembled facility.
+type Center struct {
+	Eng        *sim.Engine
+	Src        *rng.Source
+	Cfg        Config
+	Torus      topology.Torus
+	Placement  topology.Placement
+	Fabric     *netsim.Fabric // nil when !UseFabric
+	Namespaces []*lustre.FS
+	// ossBase[i] is namespace i's first OSS index in the fabric's OSS
+	// numbering.
+	ossBase []int
+}
+
+// New builds a center.
+func New(cfg Config) *Center {
+	if cfg.Scale < 1 {
+		cfg.Scale = 1
+	}
+	if cfg.Namespaces < 1 {
+		cfg.Namespaces = 1
+	}
+	eng := sim.NewEngine()
+	src := rng.New(cfg.Seed)
+	c := &Center{Eng: eng, Src: src, Cfg: cfg}
+
+	var grid topology.CabinetGrid
+	var modules, groups int
+	if cfg.Small {
+		c.Torus = topology.Torus{NX: 5, NY: 4, NZ: 4}
+		grid = topology.CabinetGrid{Cols: 5, Rows: 2}
+		modules, groups = 16, 4
+	} else {
+		c.Torus = topology.TitanTorus()
+		grid = topology.TitanCabinets()
+		modules, groups = 110/cfg.Scale, 9
+		if modules < groups {
+			modules = groups
+		}
+	}
+	c.Placement = topology.PlaceRouters(grid, c.Torus, modules, groups)
+
+	p := lustre.Spider2Namespace().Scale(cfg.Scale)
+	if cfg.Upgraded {
+		p.CtrlCfg = lustre.Spider2ControllerUpgraded()
+	}
+	if cfg.Small {
+		// A proportional miniature of one Spider II namespace: 2 SSUs of
+		// 8 OSTs each on small disks, with the controller scaled to its
+		// OST count so the controller remains the binding constraint, as
+		// it was at full scale.
+		p.NumSSU = 2
+		p.OSTsPerSSU = 8
+		p.OSSPerSSU = 8
+		p.DiskCfg.Capacity = 2 << 30
+		ratio := float64(p.OSTsPerSSU) / 56
+		p.CtrlCfg.Bps *= ratio
+		p.CtrlCfg.CacheBytes = int64(float64(p.CtrlCfg.CacheBytes) * ratio)
+		p.CtrlCfg.Slots = 8
+	}
+	totalOSS := 0
+	for i := 0; i < cfg.Namespaces; i++ {
+		pi := p
+		pi.Name = fmt.Sprintf("atlas%d", i+1)
+		fs := lustre.Build(eng, pi, src.Split(pi.Name))
+		c.Namespaces = append(c.Namespaces, fs)
+		c.ossBase = append(c.ossBase, totalOSS)
+		totalOSS += len(fs.OSSes)
+	}
+
+	if cfg.UseFabric {
+		fcfg := netsim.Spider2Fabric()
+		fcfg.Torus = c.Torus
+		c.Fabric = netsim.NewFabric(eng, fcfg, c.Placement, totalOSS)
+	}
+	return c
+}
+
+// fabricTransport maps a namespace's OSS indices onto the shared fabric.
+type fabricTransport struct {
+	fabric  *netsim.Fabric
+	mode    netsim.RouteMode
+	ossBase int
+	src     *rng.Source
+}
+
+// Send implements lustre.Transport.
+func (t fabricTransport) Send(from topology.Coord, oss int, bytes int64, done func()) {
+	path := t.fabric.ClientPath(from, t.ossBase+oss, t.mode, t.src)
+	t.fabric.Net.StartFlow(path, float64(bytes), func() { done() })
+}
+
+// Transport returns the transport clients of namespace ns should use.
+func (c *Center) Transport(ns int) lustre.Transport {
+	if c.Fabric == nil {
+		return lustre.NullTransport{Eng: c.Eng}
+	}
+	return fabricTransport{fabric: c.Fabric, mode: c.Cfg.RouteMode, ossBase: c.ossBase[ns], src: c.Src.Split(fmt.Sprintf("tr-%d", ns))}
+}
+
+// RunIOR runs the IOR benchmark against namespace ns with the center's
+// transport and the given placer.
+func (c *Center) RunIOR(ns int, cfg workload.IORConfig) workload.IORResult {
+	cfg.Transport = c.Transport(ns)
+	if cfg.Placer == nil {
+		cfg.Placer = workload.RandomPlacer(c.Torus, c.Cfg.Seed)
+	}
+	return workload.RunIOR(c.Namespaces[ns], cfg)
+}
+
+// WorkflowResult compares the scientific-workflow cost under the two
+// architectures (E6): a simulation writes its output, then an analysis
+// platform consumes it.
+type WorkflowResult struct {
+	WriteTime    sim.Time
+	TransferTime sim.Time // zero in the data-centric model
+	ReadTime     sim.Time
+	Total        sim.Time
+	BytesMoved   int64 // extra inter-system traffic (exclusive model)
+}
+
+// DataCentricWorkflow runs the workflow on one shared namespace: the
+// analysis reads the simulation's output in place.
+func DataCentricWorkflow(fs *lustre.FS, dataBytes int64, writers, readers int) WorkflowResult {
+	eng := fs.Engine()
+	var res WorkflowResult
+	files := writeDataset(fs, "shared/sim", dataBytes, writers, &res)
+	start := eng.Now()
+	readDataset(fs, files, readers)
+	eng.Run()
+	res.ReadTime = eng.Now() - start
+	res.Total = res.WriteTime + res.ReadTime
+	return res
+}
+
+// ExclusiveWorkflow runs the workflow across two machine-exclusive
+// namespaces: write to the simulation PFS, copy through a data-transfer
+// node at dtnBps, then read from the analysis PFS.
+func ExclusiveWorkflow(simFS, vizFS *lustre.FS, dataBytes int64, writers, readers int, dtnBps float64) WorkflowResult {
+	eng := simFS.Engine()
+	var res WorkflowResult
+	writeDataset(simFS, "excl/sim", dataBytes, writers, &res)
+
+	// DTN copy: read from simFS and write to vizFS through a
+	// bandwidth-capped mover.
+	start := eng.Now()
+	mover := lustre.NewClient(-10, topology.Coord{}, simFS, lustre.NullTransport{Eng: eng})
+	sink := lustre.NewClient(-11, topology.Coord{}, vizFS, lustre.NullTransport{Eng: eng})
+	var copied *lustre.File
+	vizFS.Create("excl/copy", 4, func(f *lustre.File) { copied = f })
+	eng.Run()
+	var srcFile *lustre.File
+	simFS.Open("excl/sim/rank0000000", func(f *lustre.File) { srcFile = f })
+	eng.Run()
+	if srcFile == nil {
+		panic("center: exclusive workflow lost its dataset")
+	}
+	// The DTN is the bottleneck: cap the copy at dtnBps by pacing
+	// chunked reads/writes.
+	chunk := int64(64 << 20)
+	remaining := dataBytes
+	var step func()
+	step = func() {
+		if remaining <= 0 {
+			return
+		}
+		n := chunk
+		if n > remaining {
+			n = remaining
+		}
+		remaining -= n
+		floor := sim.FromSeconds(float64(n) / dtnBps)
+		issued := eng.Now()
+		mover.ReadStream(srcFile, n, 1<<20, false, func(int64) {
+			sink.WriteStream(copied, n, 1<<20, func(int64) {
+				elapsed := eng.Now() - issued
+				if elapsed < floor {
+					eng.After(floor-elapsed, step)
+				} else {
+					step()
+				}
+			})
+		})
+	}
+	step()
+	eng.Run()
+	res.TransferTime = eng.Now() - start
+	res.BytesMoved = dataBytes
+
+	start = eng.Now()
+	readDataset(vizFS, []*lustre.File{copied}, readers)
+	eng.Run()
+	res.ReadTime = eng.Now() - start
+	res.Total = res.WriteTime + res.TransferTime + res.ReadTime
+	return res
+}
+
+func writeDataset(fs *lustre.FS, dir string, dataBytes int64, writers int, res *WorkflowResult) []*lustre.File {
+	eng := fs.Engine()
+	files := make([]*lustre.File, writers)
+	clients := make([]*lustre.Client, writers)
+	for i := 0; i < writers; i++ {
+		i := i
+		clients[i] = lustre.NewClient(i, topology.Coord{}, fs, lustre.NullTransport{Eng: eng})
+		fs.Create(fmt.Sprintf("%s/rank%07d", dir, i), 4, func(f *lustre.File) { files[i] = f })
+	}
+	eng.Run()
+	start := eng.Now()
+	per := dataBytes / int64(writers)
+	for i, cl := range clients {
+		cl.WriteStream(files[i], per, 1<<20, nil)
+	}
+	eng.Run()
+	res.WriteTime = eng.Now() - start
+	return files
+}
+
+func readDataset(fs *lustre.FS, files []*lustre.File, readers int) {
+	eng := fs.Engine()
+	for r := 0; r < readers; r++ {
+		cl := lustre.NewClient(100+r, topology.Coord{}, fs, lustre.NullTransport{Eng: eng})
+		f := files[r%len(files)]
+		size := f.Size() / int64(readers/len(files)+1)
+		if size < 1<<20 {
+			size = 1 << 20
+		}
+		cl.ReadStream(f, size, 1<<20, false, nil)
+	}
+}
+
+// MetadataLoadResult reports the E11 namespace experiment.
+type MetadataLoadResult struct {
+	OpsPerSec   float64
+	MeanWait    sim.Time
+	Utilization float64
+}
+
+// MetadataStorm drives a create+stat storm (files each created then
+// statted) against the namespaces round-robin and reports aggregate
+// metadata throughput. With one namespace the single MDS saturates;
+// splitting the same hardware into two namespaces doubles the ceiling.
+func MetadataStorm(namespaces []*lustre.FS, files int, concurrency int) MetadataLoadResult {
+	eng := namespaces[0].Engine()
+	start := eng.Now()
+	issued := 0
+	var worker func(w int)
+	worker = func(w int) {
+		if issued >= files {
+			return
+		}
+		i := issued
+		issued++
+		fs := namespaces[i%len(namespaces)]
+		fs.Create(fmt.Sprintf("storm/w%d/f%07d", w, i), 1, func(f *lustre.File) {
+			fs.Stat(f, func() { worker(w) })
+		})
+	}
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	for w := 0; w < concurrency; w++ {
+		worker(w)
+	}
+	eng.Run()
+	dur := eng.Now() - start
+	res := MetadataLoadResult{}
+	if dur > 0 {
+		res.OpsPerSec = float64(files*2) / dur.Seconds()
+	}
+	var wait sim.Time
+	var util float64
+	for _, fs := range namespaces {
+		wait += fs.MDS.MeanWait()
+		util += fs.MDS.Utilization()
+	}
+	res.MeanWait = wait / sim.Time(len(namespaces))
+	res.Utilization = util / float64(len(namespaces))
+	return res
+}
+
+// BlastRadius returns the fraction of the center's files made
+// unavailable by the loss of namespace ns — the failure-domain argument
+// for multiple namespaces.
+func BlastRadius(namespaces []*lustre.FS, ns int) float64 {
+	var total, lost int64
+	for i, fs := range namespaces {
+		total += fs.NumFiles
+		if i == ns {
+			lost += fs.NumFiles
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(lost) / float64(total)
+}

@@ -1,0 +1,122 @@
+package center
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Project is one allocation in OLCF's §IV-C classification model:
+// projects are characterized by their capacity and bandwidth
+// requirements and distributed among the namespaces so both dimensions
+// stay balanced (Lesson 10).
+type Project struct {
+	Name          string
+	CapacityBytes float64
+	BandwidthBps  float64
+}
+
+// Assignment maps projects onto namespaces.
+type Assignment struct {
+	// NamespaceOf[projectName] = namespace index.
+	NamespaceOf map[string]int
+	// CapacityLoad and BandwidthLoad per namespace.
+	CapacityLoad  []float64
+	BandwidthLoad []float64
+}
+
+// Imbalance returns (max-min)/mean for one load dimension.
+func loadImbalance(load []float64) float64 {
+	if len(load) == 0 {
+		return 0
+	}
+	min, max, sum := load[0], load[0], 0.0
+	for _, v := range load {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	mean := sum / float64(len(load))
+	if mean == 0 {
+		return 0
+	}
+	return (max - min) / mean
+}
+
+// CapacityImbalance and BandwidthImbalance report the balance quality.
+func (a Assignment) CapacityImbalance() float64  { return loadImbalance(a.CapacityLoad) }
+func (a Assignment) BandwidthImbalance() float64 { return loadImbalance(a.BandwidthLoad) }
+
+// DistributeProjects assigns projects to n namespaces with a greedy
+// two-dimensional balancer: projects are placed largest-first onto the
+// namespace with the lowest combined normalized load. This is the
+// static model OLCF used to spread Spider I's projects over four
+// namespaces and Spider II's over two.
+func DistributeProjects(projects []Project, n int) Assignment {
+	if n < 1 {
+		panic("center: need at least one namespace")
+	}
+	a := Assignment{
+		NamespaceOf:   map[string]int{},
+		CapacityLoad:  make([]float64, n),
+		BandwidthLoad: make([]float64, n),
+	}
+	var totCap, totBW float64
+	for _, p := range projects {
+		if p.CapacityBytes < 0 || p.BandwidthBps < 0 {
+			panic(fmt.Sprintf("center: project %q has negative requirements", p.Name))
+		}
+		totCap += p.CapacityBytes
+		totBW += p.BandwidthBps
+	}
+	if totCap == 0 {
+		totCap = 1
+	}
+	if totBW == 0 {
+		totBW = 1
+	}
+	// Largest combined footprint first: big rocks placed while choices
+	// remain.
+	ordered := append([]Project(nil), projects...)
+	weight := func(p Project) float64 {
+		return p.CapacityBytes/totCap + p.BandwidthBps/totBW
+	}
+	sort.SliceStable(ordered, func(i, j int) bool { return weight(ordered[i]) > weight(ordered[j]) })
+
+	for _, p := range ordered {
+		best, bestLoad := 0, 0.0
+		for ns := 0; ns < n; ns++ {
+			load := a.CapacityLoad[ns]/totCap + a.BandwidthLoad[ns]/totBW
+			if ns == 0 || load < bestLoad {
+				best, bestLoad = ns, load
+			}
+		}
+		a.NamespaceOf[p.Name] = best
+		a.CapacityLoad[best] += p.CapacityBytes
+		a.BandwidthLoad[best] += p.BandwidthBps
+	}
+	return a
+}
+
+// RoundRobinProjects is the naive baseline: assignment order, ignoring
+// requirements.
+func RoundRobinProjects(projects []Project, n int) Assignment {
+	if n < 1 {
+		panic("center: need at least one namespace")
+	}
+	a := Assignment{
+		NamespaceOf:   map[string]int{},
+		CapacityLoad:  make([]float64, n),
+		BandwidthLoad: make([]float64, n),
+	}
+	for i, p := range projects {
+		ns := i % n
+		a.NamespaceOf[p.Name] = ns
+		a.CapacityLoad[ns] += p.CapacityBytes
+		a.BandwidthLoad[ns] += p.BandwidthBps
+	}
+	return a
+}

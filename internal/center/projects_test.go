@@ -1,0 +1,134 @@
+package center
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"spiderfs/internal/rng"
+)
+
+func skewedProjects(n int, seed uint64) []Project {
+	src := rng.New(seed)
+	out := make([]Project, n)
+	for i := range out {
+		// Long-tailed project sizes, as allocation programs produce.
+		out[i] = Project{
+			Name:          fmt.Sprintf("proj%03d", i),
+			CapacityBytes: src.Pareto(2.2, 10e12),
+			BandwidthBps:  src.Pareto(2.5, 1e9),
+		}
+	}
+	return out
+}
+
+func TestDistributeCoversAllProjects(t *testing.T) {
+	projects := skewedProjects(40, 1)
+	a := DistributeProjects(projects, 2)
+	if len(a.NamespaceOf) != 40 {
+		t.Fatalf("assigned %d of 40", len(a.NamespaceOf))
+	}
+	var cap0 float64
+	for _, p := range projects {
+		ns := a.NamespaceOf[p.Name]
+		if ns < 0 || ns > 1 {
+			t.Fatalf("project %s on namespace %d", p.Name, ns)
+		}
+		if ns == 0 {
+			cap0 += p.CapacityBytes
+		}
+	}
+	if cap0 != a.CapacityLoad[0] {
+		t.Fatalf("capacity bookkeeping: %g vs %g", cap0, a.CapacityLoad[0])
+	}
+}
+
+func TestDistributeBeatsRoundRobin(t *testing.T) {
+	combined := func(a Assignment) float64 {
+		var totCap, totBW float64
+		for ns := range a.CapacityLoad {
+			totCap += a.CapacityLoad[ns]
+			totBW += a.BandwidthLoad[ns]
+		}
+		loads := make([]float64, len(a.CapacityLoad))
+		for ns := range loads {
+			loads[ns] = a.CapacityLoad[ns]/totCap + a.BandwidthLoad[ns]/totBW
+		}
+		return loadImbalance(loads)
+	}
+	worse := 0
+	for seed := uint64(0); seed < 10; seed++ {
+		projects := skewedProjects(60, seed)
+		smart := DistributeProjects(projects, 2)
+		naive := RoundRobinProjects(projects, 2)
+		// The balancer optimizes the combined normalized load; compare
+		// on that objective.
+		if combined(smart) > combined(naive) {
+			worse++
+		}
+		// The model's whole purpose: keep both dimensions tight.
+		if smart.CapacityImbalance() > 0.5 {
+			t.Fatalf("seed %d: balanced capacity imbalance %.2f too high", seed, smart.CapacityImbalance())
+		}
+		if smart.BandwidthImbalance() > 0.7 {
+			t.Fatalf("seed %d: balanced bandwidth imbalance %.2f too high", seed, smart.BandwidthImbalance())
+		}
+	}
+	if worse > 2 {
+		t.Fatalf("greedy balancer lost to round-robin on %d/10 seeds", worse)
+	}
+}
+
+// Property: loads are conserved — per-namespace sums equal the project
+// totals.
+func TestDistributeConservationProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%4) + 1
+		projects := skewedProjects(25, seed)
+		a := DistributeProjects(projects, n)
+		var wantCap, wantBW, gotCap, gotBW float64
+		for _, p := range projects {
+			wantCap += p.CapacityBytes
+			wantBW += p.BandwidthBps
+		}
+		for ns := 0; ns < n; ns++ {
+			gotCap += a.CapacityLoad[ns]
+			gotBW += a.BandwidthLoad[ns]
+		}
+		return almostEq(gotCap, wantCap) && almostEq(gotBW, wantBW)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func almostEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-6*(b+1)
+}
+
+func TestDistributeInvalidInputsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	DistributeProjects(nil, 0)
+}
+
+func TestRenderArchitecture(t *testing.T) {
+	c := New(Config{Small: true, Namespaces: 2, Seed: 5})
+	out := c.RenderArchitecture()
+	for _, want := range []string{"Gemini 3D torus", "LNET routers", "Spider namespace", "RAID-6 8+2", "MDT"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("architecture rendering missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "Spider namespace") != 2 {
+		t.Fatal("should render both namespaces")
+	}
+}

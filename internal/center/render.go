@@ -1,0 +1,42 @@
+package center
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderArchitecture prints a Fig. 1-style text diagram of the
+// assembled center: compute platforms, the LNET router layer, the SION
+// InfiniBand SAN, and the Spider namespaces with their hardware counts.
+func (c *Center) RenderArchitecture() string {
+	var b strings.Builder
+	tor := c.Torus
+	nClients := tor.Nodes() * 2 // two nodes per Gemini
+	routers := 4 * len(c.Placement.Modules)
+	leaves := c.Placement.Groups * 4
+
+	line := func(s string) { b.WriteString(s + "\n") }
+	line("+------------------------------------------------------------------+")
+	line(fmt.Sprintf("| Titan (Cray XK7)  %d x %d x %d Gemini 3D torus, ~%d clients", tor.NX, tor.NY, tor.NZ, nClients))
+	line(fmt.Sprintf("|   %d I/O modules = %d LNET routers in %d FGR groups",
+		len(c.Placement.Modules), routers, c.Placement.Groups))
+	line("+---------------------------|--------------------------------------+")
+	line("                            | SION InfiniBand SAN")
+	line(fmt.Sprintf("              %d leaf switches <-> core tier", leaves))
+	line("                            |")
+	for i, fs := range c.Namespaces {
+		disks := 0
+		for _, o := range fs.OSTs {
+			disks += o.Group().Config().Width()
+		}
+		line("+---------------------------|--------------------------------------+")
+		line(fmt.Sprintf("| Spider namespace %q (%d of %d)", fs.Name, i+1, len(c.Namespaces)))
+		line(fmt.Sprintf("|   %d OSSes -> %d SSU controllers -> %d OSTs (RAID-6 8+2) -> %d disks",
+			len(fs.OSSes), len(fs.Ctrls), len(fs.OSTs), disks))
+		line(fmt.Sprintf("|   %d MDT(s); capacity %.1f TiB", len(fs.MDTs), float64(fs.TotalCapacity())/(1<<40)))
+	}
+	line("+------------------------------------------------------------------+")
+	line("other platforms (analysis, visualization, DTNs) mount the same")
+	line("namespaces over SION: the data-centric model of Sec. II.")
+	return b.String()
+}

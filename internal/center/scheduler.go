@@ -1,0 +1,140 @@
+package center
+
+import (
+	"sort"
+
+	"spiderfs/internal/iosi"
+	"spiderfs/internal/sim"
+)
+
+// IOSI-driven resource allocation (Lesson 18 / §VI-B): "IOSI can be
+// used to dynamically detect I/O patterns and aid users and
+// administrators to allocate resources in an efficient manner." Given
+// per-application signatures mined from server logs, the scheduler
+// spreads bursty applications across namespaces and staggers their
+// burst phases so checkpoints do not collide.
+
+// AppSignature is the scheduler's view of one application.
+type AppSignature struct {
+	Name     string
+	Period   sim.Time
+	BurstDur sim.Time
+	BurstBps float64 // bandwidth demand during a burst
+}
+
+// FromIOSI converts a mined signature into scheduler input.
+func FromIOSI(name string, sig iosi.Signature) AppSignature {
+	bps := 0.0
+	if sig.BurstDuration > 0 {
+		bps = sig.BurstVolume / sig.BurstDuration.Seconds()
+	}
+	return AppSignature{Name: name, Period: sig.Period, BurstDur: sig.BurstDuration, BurstBps: bps}
+}
+
+// DutyCycle returns the fraction of time the app bursts.
+func (a AppSignature) DutyCycle() float64 {
+	if a.Period <= 0 {
+		return 1
+	}
+	d := float64(a.BurstDur) / float64(a.Period)
+	if d > 1 {
+		return 1
+	}
+	return d
+}
+
+// Slot is one scheduling decision: which namespace the app's files
+// should live on and how much to delay its first burst so that bursts
+// on the same namespace interleave (time-division of the burst window).
+type Slot struct {
+	Namespace   int
+	PhaseOffset sim.Time
+}
+
+// ScheduleApps assigns apps to n namespaces. Placement is greedy
+// largest-demand-first onto the namespace with the lowest accumulated
+// burst demand (duty x bandwidth); within a namespace, phase offsets
+// stack each app's burst window after the previous one, modulo the
+// period, so equal-period applications never burst together while
+// capacity allows.
+func ScheduleApps(apps []AppSignature, n int) map[string]Slot {
+	if n < 1 {
+		panic("center: scheduler needs at least one namespace")
+	}
+	out := make(map[string]Slot, len(apps))
+	ordered := append([]AppSignature(nil), apps...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return ordered[i].DutyCycle()*ordered[i].BurstBps > ordered[j].DutyCycle()*ordered[j].BurstBps
+	})
+	load := make([]float64, n)
+	nextOffset := make([]sim.Time, n)
+	for _, a := range ordered {
+		best := 0
+		for ns := 1; ns < n; ns++ {
+			if load[ns] < load[best] {
+				best = ns
+			}
+		}
+		off := nextOffset[best]
+		if a.Period > 0 {
+			off %= a.Period
+		}
+		out[a.Name] = Slot{Namespace: best, PhaseOffset: off}
+		load[best] += a.DutyCycle() * a.BurstBps
+		nextOffset[best] += a.BurstDur
+	}
+	return out
+}
+
+// BurstOverlap estimates the expected fraction of one app's burst time
+// spent overlapping another's, for two equal-period apps with the given
+// phase offsets — the quantity the stagger minimizes. Zero period means
+// always-on (full overlap).
+func BurstOverlap(a, b AppSignature, offA, offB sim.Time) float64 {
+	if a.Period <= 0 || b.Period <= 0 || a.Period != b.Period {
+		// Differing or unknown periods: expected overlap of random
+		// phases is the product of duty cycles.
+		return a.DutyCycle() * b.DutyCycle()
+	}
+	p := a.Period
+	// Overlap of intervals [offA, offA+burstA) and [offB, offB+burstB)
+	// on a circle of circumference p.
+	startA := offA % p
+	startB := offB % p
+	overlap := circleOverlap(startA, a.BurstDur, startB, b.BurstDur, p)
+	if a.BurstDur == 0 {
+		return 0
+	}
+	return overlap.Seconds() / a.BurstDur.Seconds()
+}
+
+func circleOverlap(s1 sim.Time, d1 sim.Time, s2 sim.Time, d2 sim.Time, p sim.Time) sim.Time {
+	var total sim.Time
+	// Unroll the circle across two periods and intersect linearly.
+	for _, shift := range []sim.Time{-p, 0, p} {
+		a0, a1 := s1, s1+d1
+		b0, b1 := s2+shift, s2+d2+shift
+		lo, hi := maxT(a0, b0), minT(a1, b1)
+		if hi > lo {
+			total += hi - lo
+		}
+	}
+	if total > d1 {
+		total = d1
+	}
+	return total
+}
+
+func maxT(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minT(a, b sim.Time) sim.Time {
+	if a < b {
+		return a
+	}
+	return b
+}

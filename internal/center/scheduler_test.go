@@ -1,0 +1,158 @@
+package center
+
+import (
+	"fmt"
+	"testing"
+
+	"spiderfs/internal/iosi"
+	"spiderfs/internal/lustre"
+	"spiderfs/internal/rng"
+	"spiderfs/internal/sim"
+	"spiderfs/internal/stats"
+	"spiderfs/internal/topology"
+)
+
+func ckptApp(name string, period, burst sim.Time, bps float64) AppSignature {
+	return AppSignature{Name: name, Period: period, BurstDur: burst, BurstBps: bps}
+}
+
+func TestScheduleSpreadsAcrossNamespaces(t *testing.T) {
+	apps := []AppSignature{
+		ckptApp("a", 10*sim.Second, sim.Second, 100e9),
+		ckptApp("b", 10*sim.Second, sim.Second, 90e9),
+		ckptApp("c", 10*sim.Second, sim.Second, 10e9),
+		ckptApp("d", 10*sim.Second, sim.Second, 10e9),
+	}
+	slots := ScheduleApps(apps, 2)
+	if len(slots) != 4 {
+		t.Fatalf("slots = %v", slots)
+	}
+	if slots["a"].Namespace == slots["b"].Namespace {
+		t.Fatal("the two heavy apps must land on different namespaces")
+	}
+}
+
+func TestScheduleStaggersPhases(t *testing.T) {
+	apps := []AppSignature{
+		ckptApp("x", 10*sim.Second, 2*sim.Second, 50e9),
+		ckptApp("y", 10*sim.Second, 2*sim.Second, 50e9),
+		ckptApp("z", 10*sim.Second, 2*sim.Second, 50e9),
+	}
+	slots := ScheduleApps(apps, 1)
+	// All on namespace 0, but with non-overlapping burst windows.
+	names := []string{"x", "y", "z"}
+	for i, a := range names {
+		for _, b := range names[i+1:] {
+			ov := BurstOverlap(apps[idxOf(apps, a)], apps[idxOf(apps, b)],
+				slots[a].PhaseOffset, slots[b].PhaseOffset)
+			if ov > 0 {
+				t.Fatalf("apps %s and %s overlap %.2f despite stagger", a, b, ov)
+			}
+		}
+	}
+}
+
+func idxOf(apps []AppSignature, name string) int {
+	for i, a := range apps {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestBurstOverlapGeometry(t *testing.T) {
+	a := ckptApp("a", 10*sim.Second, 2*sim.Second, 1)
+	b := ckptApp("b", 10*sim.Second, 2*sim.Second, 1)
+	if ov := BurstOverlap(a, b, 0, 0); ov != 1 {
+		t.Fatalf("aligned identical bursts overlap = %f, want 1", ov)
+	}
+	if ov := BurstOverlap(a, b, 0, 5*sim.Second); ov != 0 {
+		t.Fatalf("opposite-phase bursts overlap = %f, want 0", ov)
+	}
+	if ov := BurstOverlap(a, b, 0, sim.Second); ov != 0.5 {
+		t.Fatalf("half-shifted bursts overlap = %f, want 0.5", ov)
+	}
+	// Wraparound: burst at the end of the period overlaps one at the
+	// start.
+	if ov := BurstOverlap(a, b, 9*sim.Second, 0); ov != 0.5 {
+		t.Fatalf("wraparound overlap = %f, want 0.5", ov)
+	}
+	// Differing periods fall back to duty-cycle product.
+	c := ckptApp("c", 7*sim.Second, 2*sim.Second, 1)
+	want := a.DutyCycle() * c.DutyCycle()
+	if ov := BurstOverlap(a, c, 0, 0); ov != want {
+		t.Fatalf("mixed-period overlap = %f, want %f", ov, want)
+	}
+}
+
+func TestFromIOSI(t *testing.T) {
+	sig := iosi.Signature{Period: 30 * sim.Second, BurstDuration: 3 * sim.Second, BurstVolume: 90e9}
+	app := FromIOSI("s3d", sig)
+	if app.BurstBps != 30e9 {
+		t.Fatalf("burst bps = %g", app.BurstBps)
+	}
+	if app.DutyCycle() != 0.1 {
+		t.Fatalf("duty = %f", app.DutyCycle())
+	}
+}
+
+// The end-to-end value: two identical checkpointing apps on one
+// namespace finish their dumps faster when the scheduler staggers them
+// than when they burst in phase.
+func TestStaggeredCheckpointsBeatAligned(t *testing.T) {
+	run := func(offset sim.Time) float64 {
+		eng := sim.NewEngine()
+		p := lustre.TestNamespace()
+		// Proportional miniature controller (as in the Small center), so
+		// two simultaneous dumps genuinely contend.
+		p.CtrlCfg.Bps = 2.5e9
+		p.CtrlCfg.Slots = 8
+		fs := lustre.Build(eng, p, rng.New(321))
+		var durations []float64
+		app := func(id int, start sim.Time) {
+			client := lustre.NewClient(id, topology.Coord{}, fs, lustre.NullTransport{Eng: eng})
+			period := 2 * sim.Second
+			fs.Create(fmt.Sprintf("app%d/ckpt", id), 4, func(file *lustre.File) {
+				var dump func(n int)
+				dump = func(n int) {
+					if n == 0 {
+						return
+					}
+					t0 := eng.Now()
+					client.WriteStream(file, 96<<20, 1<<20, func(int64) {
+						durations = append(durations, (eng.Now() - t0).Seconds())
+						eng.After(period, func() { dump(n - 1) })
+					})
+				}
+				if eng.Now() >= start {
+					dump(5)
+				} else {
+					eng.At(start, func() { dump(5) })
+				}
+			})
+		}
+		app(0, 0)
+		app(1, offset)
+		eng.Run()
+		return stats.Percentile(durations, 0.95)
+	}
+	aligned := run(0)
+	staggered := run(sim.Second) // half the period, as the scheduler would pick
+	if staggered >= aligned {
+		t.Fatalf("staggered p95 dump %.3fs not better than aligned %.3fs", staggered, aligned)
+	}
+	if aligned/staggered < 1.3 {
+		t.Fatalf("stagger gain only %.2fx (aligned %.3fs vs staggered %.3fs)",
+			aligned/staggered, aligned, staggered)
+	}
+}
+
+func TestScheduleInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	ScheduleApps(nil, 0)
+}

@@ -1,0 +1,219 @@
+package disk
+
+import (
+	"testing"
+
+	"spiderfs/internal/rng"
+	"spiderfs/internal/sim"
+)
+
+// measure drives n ops of the given pattern through a fresh disk and
+// returns throughput in MB/s (decimal).
+func measure(t *testing.T, seqential bool, opSize int64, n int) float64 {
+	t.Helper()
+	eng := sim.NewEngine()
+	src := rng.New(1)
+	d := New(eng, 0, NLSAS2TB(), Nominal(), src.Split("d"))
+	var lba int64
+	issue := func(i int, done func()) {
+		op := Op{Write: false, Size: opSize}
+		if seqential {
+			op.LBA = lba
+			lba += opSize
+		} else {
+			op.LBA = src.Int63n(d.Config().Capacity - opSize)
+		}
+		d.Submit(op, done)
+	}
+	remaining := n
+	var kick func()
+	kick = func() {
+		remaining--
+		if remaining > 0 {
+			issue(n-remaining, kick)
+		}
+	}
+	issue(0, kick)
+	eng.Run()
+	sec := eng.Now().Seconds()
+	return float64(opSize) * float64(n) / 1e6 / sec
+}
+
+func TestSequentialThroughputNearPeak(t *testing.T) {
+	mbps := measure(t, true, 1<<20, 500)
+	// Outer zone, 1 MiB transfers: expect within ~15% of 140 MB/s
+	// (command overhead costs a few percent).
+	if mbps < 120 || mbps > 145 {
+		t.Fatalf("sequential = %.1f MB/s, want ~130-140", mbps)
+	}
+}
+
+func TestRandomOverSequentialRatio(t *testing.T) {
+	seq := measure(t, true, 1<<20, 500)
+	rnd := measure(t, false, 1<<20, 500)
+	ratio := rnd / seq
+	// The paper: a single NL-SAS drive achieves 20-25% of peak under
+	// random 1 MB I/O. Accept 18-30% for simulation noise.
+	if ratio < 0.18 || ratio > 0.30 {
+		t.Fatalf("random/sequential = %.3f (%.1f / %.1f MB/s), want ~0.20-0.25",
+			ratio, rnd, seq)
+	}
+}
+
+func TestSmallRandomIsIOPSBound(t *testing.T) {
+	eng := sim.NewEngine()
+	src := rng.New(2)
+	d := New(eng, 0, NLSAS2TB(), Nominal(), src.Split("d"))
+	n := 1000
+	remaining := n
+	var issue func()
+	issue = func() {
+		remaining--
+		if remaining >= 0 {
+			d.Submit(Op{LBA: src.Int63n(d.Config().Capacity - 4096), Size: 4096}, issue)
+		}
+	}
+	issue()
+	eng.Run()
+	iops := float64(n) / eng.Now().Seconds()
+	// 7.2k NL-SAS random 4K: order 50-90 IOPS.
+	if iops < 40 || iops > 120 {
+		t.Fatalf("random 4K IOPS = %.1f, want ~50-90", iops)
+	}
+}
+
+func TestSlowDiskIsSlower(t *testing.T) {
+	eng := sim.NewEngine()
+	src := rng.New(3)
+	fast := New(eng, 0, NLSAS2TB(), Nominal(), src.Split("f"))
+	slow := New(eng, 1, NLSAS2TB(), Health{SpeedFactor: 0.8, TailProb: 0.0005, TailScale: 30 * sim.Millisecond}, src.Split("s"))
+	var ft, st sim.Time
+	run := func(d *Disk, out *sim.Time) {
+		var lba int64
+		n := 200
+		var next func()
+		next = func() {
+			n--
+			if n >= 0 {
+				d.Submit(Op{LBA: lba, Size: 1 << 20}, next)
+				lba += 1 << 20
+			} else {
+				*out = eng.Now()
+			}
+		}
+		next()
+	}
+	run(fast, &ft)
+	eng.Run()
+	base := eng.Now()
+	_ = base
+	eng2 := sim.NewEngine()
+	slow2 := New(eng2, 1, NLSAS2TB(), slow.Health(), rng.New(3).Split("s"))
+	run(slow2, &st)
+	eng2.Run()
+	st = eng2.Now()
+	if float64(st)/float64(ft) < 1.15 {
+		t.Fatalf("slow disk only %.2fx slower", float64(st)/float64(ft))
+	}
+}
+
+func TestWeakDiskAccumulatesTailLatency(t *testing.T) {
+	eng := sim.NewEngine()
+	src := rng.New(4)
+	weak := New(eng, 0, NLSAS2TB(),
+		Health{SpeedFactor: 1.0, TailProb: 0.2, TailScale: 60 * sim.Millisecond}, src.Split("w"))
+	n := 500
+	var next func()
+	next = func() {
+		n--
+		if n >= 0 {
+			weak.Submit(Op{LBA: 0, Size: 1 << 20}, next)
+		}
+	}
+	next()
+	eng.Run()
+	if weak.SlowCmds < 50 {
+		t.Fatalf("weak disk recorded only %d slow commands of ~100 expected", weak.SlowCmds)
+	}
+	if weak.Latency.Max < 30 {
+		t.Fatalf("weak disk max latency %.1fms, expected tail excursions", weak.Latency.Max)
+	}
+}
+
+func TestInvalidOpPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, 0, NLSAS2TB(), Nominal(), rng.New(5))
+	for _, op := range []Op{
+		{LBA: -1, Size: 4096},
+		{LBA: 0, Size: 0},
+		{LBA: d.Config().Capacity - 100, Size: 4096},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("op %+v should panic", op)
+				}
+			}()
+			d.Submit(op, nil)
+		}()
+	}
+}
+
+func TestZonedTransferInnerSlower(t *testing.T) {
+	eng := sim.NewEngine()
+	src := rng.New(6)
+	d := New(eng, 0, NLSAS2TB(), Health{SpeedFactor: 1, TailProb: 0, TailScale: 0}, src)
+	cfg := d.Config()
+	outer := d.ServiceTime(Op{LBA: 0, Size: 1 << 20})
+	d.lastEnd = cfg.Capacity - (1 << 20) // force sequential (no seek) at inner edge
+	inner := d.ServiceTime(Op{LBA: cfg.Capacity - (1 << 20), Size: 1 << 20})
+	if inner <= outer {
+		t.Fatalf("inner zone (%v) should be slower than outer (%v)", inner, outer)
+	}
+}
+
+func TestPopulationSpread(t *testing.T) {
+	eng := sim.NewEngine()
+	src := rng.New(7)
+	spec := DefaultPopulation()
+	disks := NewPopulation(eng, 5000, NLSAS2TB(), spec, src)
+	if len(disks) != 5000 {
+		t.Fatalf("population size %d", len(disks))
+	}
+	slow, weak := 0, 0
+	for _, d := range disks {
+		h := d.Health()
+		if h.SpeedFactor < 0.95 {
+			slow++
+		}
+		if h.TailProb > 0.01 {
+			weak++
+		}
+	}
+	slowFrac := float64(slow) / 5000
+	weakFrac := float64(weak) / 5000
+	if slowFrac < 0.05 || slowFrac > 0.11 {
+		t.Fatalf("slow fraction = %.3f, want ~0.075", slowFrac)
+	}
+	if weakFrac < 0.01 || weakFrac > 0.05 {
+		t.Fatalf("weak fraction = %.3f, want ~0.025", weakFrac)
+	}
+}
+
+func TestPopulationDeterminism(t *testing.T) {
+	mk := func() []float64 {
+		eng := sim.NewEngine()
+		disks := NewPopulation(eng, 100, NLSAS2TB(), DefaultPopulation(), rng.New(42))
+		out := make([]float64, len(disks))
+		for i, d := range disks {
+			out[i] = d.Health().SpeedFactor
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("population not deterministic at disk %d", i)
+		}
+	}
+}

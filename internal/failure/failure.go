@@ -1,0 +1,196 @@
+// Package failure provides fault injection for the Spider models: a
+// Poisson disk-failure process with automatic replace-and-rebuild, the
+// cable/HCA error generators that feed the monitoring pipeline, and a
+// scripted replay of the 2010 human-error incident from §IV-E.
+package failure
+
+import (
+	"fmt"
+
+	"spiderfs/internal/disk"
+	"spiderfs/internal/monitor"
+	"spiderfs/internal/raid"
+	"spiderfs/internal/rng"
+	"spiderfs/internal/sim"
+)
+
+// DiskFailureConfig drives the background failure process.
+type DiskFailureConfig struct {
+	// AnnualFailureRate per drive (NL-SAS fleets see ~2-4%/yr at scale).
+	AnnualFailureRate float64
+	// ReplaceDelay models the technician walk time before a spare is
+	// inserted and rebuild starts.
+	ReplaceDelay sim.Time
+}
+
+// DefaultDiskFailures mirrors fleet behaviour.
+func DefaultDiskFailures() DiskFailureConfig {
+	return DiskFailureConfig{AnnualFailureRate: 0.03, ReplaceDelay: 4 * sim.Hour}
+}
+
+// Injector runs failure processes against a set of RAID groups.
+type Injector struct {
+	eng    *sim.Engine
+	groups []*raid.Group
+	src    *rng.Source
+	cfg    DiskFailureConfig
+
+	// Events receives monitor events for every injected fault (optional).
+	Events func(monitor.Event)
+
+	Failures int
+	Rebuilds int
+	DataLoss int // groups that transitioned to Failed
+	stopped  bool
+	pending  *sim.Event
+	replID   int
+}
+
+// NewInjector builds an idle injector; call Start.
+func NewInjector(eng *sim.Engine, groups []*raid.Group, cfg DiskFailureConfig, src *rng.Source) *Injector {
+	return &Injector{eng: eng, groups: groups, src: src, cfg: cfg}
+}
+
+// Start begins the Poisson failure process.
+func (in *Injector) Start() {
+	in.schedule()
+}
+
+// Stop halts the process.
+func (in *Injector) Stop() {
+	in.stopped = true
+	if in.pending != nil {
+		in.pending.Cancel()
+		in.pending = nil
+	}
+}
+
+// meanGap returns the expected time between failures across the fleet.
+func (in *Injector) meanGap() sim.Time {
+	drives := 0
+	for _, g := range in.groups {
+		drives += g.Config().Width()
+	}
+	if drives == 0 || in.cfg.AnnualFailureRate <= 0 {
+		return 0
+	}
+	perDrivePerSec := in.cfg.AnnualFailureRate / (365.25 * 24 * 3600)
+	fleetRate := perDrivePerSec * float64(drives)
+	return sim.FromSeconds(1 / fleetRate)
+}
+
+func (in *Injector) schedule() {
+	gap := in.meanGap()
+	if gap == 0 {
+		return
+	}
+	wait := sim.FromSeconds(in.src.Exp(1 / gap.Seconds()))
+	in.pending = in.eng.After(wait, func() {
+		if in.stopped {
+			return
+		}
+		in.injectOne()
+		in.schedule()
+	})
+}
+
+func (in *Injector) injectOne() {
+	g := in.groups[in.src.Intn(len(in.groups))]
+	if g.State() == raid.Failed {
+		return
+	}
+	m := in.src.Intn(g.Config().Width())
+	before := g.State()
+	st := g.FailDisk(m)
+	in.Failures++
+	in.emit(monitor.Event{
+		At: in.eng.Now(), Component: fmt.Sprintf("grp%d-disk%d", g.ID, m),
+		Class: monitor.Hardware, Kind: "disk-failure",
+	})
+	if st == raid.Failed {
+		if before != raid.Failed {
+			in.DataLoss++
+			in.emit(monitor.Event{
+				At: in.eng.Now(), Component: fmt.Sprintf("grp%d", g.ID),
+				Class: monitor.Software, Kind: "ost-offline",
+			})
+		}
+		return
+	}
+	// Replace after the walk delay and rebuild.
+	in.eng.After(in.cfg.ReplaceDelay, func() {
+		if g.State() == raid.Failed || in.stopped {
+			return
+		}
+		dcfg := g.Disks()[m].Config()
+		repl := disk.New(in.eng, 1_000_000+in.replID, dcfg, disk.Nominal(),
+			in.src.Split(fmt.Sprintf("repl-%d", in.replID)))
+		in.replID++
+		in.Rebuilds++
+		g.StartRebuild(m, repl, nil)
+	})
+}
+
+func (in *Injector) emit(ev monitor.Event) {
+	if in.Events != nil {
+		in.Events(ev)
+	}
+}
+
+// CableFlap injects an InfiniBand cable error burst: a hardware event
+// followed by the software fallout the coalescer must associate
+// (§IV-A's single-cable performance degradation).
+func CableFlap(eng *sim.Engine, sink func(monitor.Event), component string, at sim.Time) {
+	eng.At(at, func() {
+		sink(monitor.Event{At: eng.Now(), Component: component, Class: monitor.Hardware, Kind: "hca-symbol-errors"})
+	})
+	eng.At(at+2*sim.Second, func() {
+		sink(monitor.Event{At: eng.Now(), Component: "lnet", Class: monitor.Software, Kind: "router-timeout"})
+	})
+	eng.At(at+5*sim.Second, func() {
+		sink(monitor.Event{At: eng.Now(), Component: "oss", Class: monitor.Software, Kind: "bulk-resend"})
+	})
+}
+
+// IncidentReport is the outcome of the replayed 2010 incident.
+type IncidentReport struct {
+	GroupsFailed   int
+	JournalLost    int64
+	FilesRecovered int64
+	FilesLost      int64
+}
+
+// HumanErrorScenario replays §IV-E against the given couplet: a disk is
+// replaced (rebuild starts), the controller connection is interrupted
+// and fails over (unit returns to production still rebuilding), and
+// eighteen (simulated) hours later the array is taken offline while
+// still rebuilding, dropping the journal. journalFiles is the metadata
+// exposure (over a million files in the real event); recovery proceeds
+// at the given success rate (~0.95 achieved over two weeks).
+func HumanErrorScenario(eng *sim.Engine, c *raid.Couplet, journalFiles int64, recoveryRate float64, src *rng.Source) IncidentReport {
+	groups := c.Groups()
+	g := groups[0]
+	// A drive is pulled and replaced; rebuild begins.
+	g.FailDisk(0)
+	repl := disk.New(eng, 999999, g.Disks()[0].Config(), disk.Nominal(), src.Split("incident-repl"))
+	g.StartRebuild(0, repl, nil)
+
+	// Controller-enclosure connection interrupted; failover as designed.
+	c.ControllerFailover()
+
+	// Production continues against the rebuilding unit: journal entries
+	// accumulate.
+	c.Journal.Log(journalFiles)
+	eng.RunFor(18 * sim.Hour)
+
+	// The array is taken offline while still in rebuild state.
+	rep := IncidentReport{}
+	rep.JournalLost = c.TakeOffline()
+	for _, gg := range groups {
+		if gg.State() == raid.Failed {
+			rep.GroupsFailed++
+		}
+	}
+	rep.FilesRecovered, rep.FilesLost = c.RecoverFiles(src.Split("recovery"), recoveryRate)
+	return rep
+}

@@ -1,0 +1,149 @@
+package failure
+
+import (
+	"testing"
+
+	"spiderfs/internal/disk"
+	"spiderfs/internal/monitor"
+	"spiderfs/internal/raid"
+	"spiderfs/internal/rng"
+	"spiderfs/internal/sim"
+)
+
+func smallGroups(eng *sim.Engine, n int, seed uint64) []*raid.Group {
+	dcfg := disk.NLSAS2TB()
+	dcfg.Capacity = 64 << 20
+	return raid.BuildGroups(eng, n, raid.Spider2Group(), dcfg, disk.DefaultPopulation(), rng.New(seed))
+}
+
+func TestInjectorFailsAndRebuilds(t *testing.T) {
+	eng := sim.NewEngine()
+	groups := smallGroups(eng, 8, 1)
+	cfg := DiskFailureConfig{AnnualFailureRate: 200, ReplaceDelay: sim.Minute} // absurd rate to see action fast
+	var events []monitor.Event
+	in := NewInjector(eng, groups, cfg, rng.New(2))
+	in.Events = func(ev monitor.Event) { events = append(events, ev) }
+	in.Start()
+	eng.RunUntil(2 * sim.Hour)
+	in.Stop()
+	eng.Run()
+	if in.Failures == 0 {
+		t.Fatal("no failures injected in 2h at an extreme rate")
+	}
+	if in.Rebuilds == 0 {
+		t.Fatal("no rebuilds started")
+	}
+	if len(events) < in.Failures {
+		t.Fatalf("events %d < failures %d", len(events), in.Failures)
+	}
+	for _, ev := range events[:1] {
+		if ev.Class != monitor.Hardware || ev.Kind != "disk-failure" {
+			t.Fatalf("unexpected first event %+v", ev)
+		}
+	}
+}
+
+func TestInjectorQuietAtZeroRate(t *testing.T) {
+	eng := sim.NewEngine()
+	groups := smallGroups(eng, 2, 3)
+	in := NewInjector(eng, groups, DiskFailureConfig{AnnualFailureRate: 0}, rng.New(4))
+	in.Start()
+	eng.RunUntil(24 * sim.Hour)
+	if in.Failures != 0 {
+		t.Fatalf("zero-rate injector failed %d drives", in.Failures)
+	}
+}
+
+func TestCableFlapFeedsCoalescer(t *testing.T) {
+	eng := sim.NewEngine()
+	c := monitor.NewCoalescer(10 * sim.Second)
+	CableFlap(eng, c.Ingest, "ib-leaf3-port7", sim.Minute)
+	eng.Run()
+	c.Close()
+	if len(c.Incidents) != 1 {
+		t.Fatalf("incidents = %d, want 1 coalesced", len(c.Incidents))
+	}
+	inc := c.Incidents[0]
+	if inc.RootClass != monitor.Hardware {
+		t.Fatalf("root = %v, want hardware (the cable)", inc.RootClass)
+	}
+	if len(inc.Events) != 3 {
+		t.Fatalf("events = %d", len(inc.Events))
+	}
+}
+
+// The E8 experiment: under the Spider I 5-enclosure layout the incident
+// loses data and the journal; under the corrected 10-enclosure layout
+// the same operator actions are survivable.
+func TestHumanErrorScenarioLayoutContrast(t *testing.T) {
+	spider1 := runWithEnclosureLoss(t, raid.Spider1Layout(), 10)
+	spider2 := runWithEnclosureLoss(t, raid.Spider2Layout(), 20)
+
+	if spider1.GroupsFailed == 0 {
+		t.Fatal("Spider I layout should lose groups")
+	}
+	if spider1.JournalLost != 1_000_000 {
+		t.Fatalf("journal lost = %d, want 1M (unclean offline)", spider1.JournalLost)
+	}
+	rate := float64(spider1.FilesRecovered) / float64(spider1.FilesRecovered+spider1.FilesLost)
+	if rate < 0.94 || rate > 0.96 {
+		t.Fatalf("recovery rate = %.3f, want ~0.95", rate)
+	}
+	if spider2.GroupsFailed != 0 {
+		t.Fatalf("Spider II layout lost %d groups; should tolerate", spider2.GroupsFailed)
+	}
+}
+
+func runWithEnclosureLoss(t *testing.T, layout raid.EnclosureLayout, seed uint64) IncidentReport {
+	t.Helper()
+	eng := sim.NewEngine()
+	groups := smallGroups(eng, 4, seed)
+	for _, g := range groups {
+		g.RebuildPause = 30 * sim.Minute
+		g.RebuildChunk = 8
+	}
+	c := raid.NewCouplet(eng, 0, layout, groups)
+	g := groups[0]
+	g.FailDisk(0)
+	repl := disk.New(eng, 999999, g.Disks()[0].Config(), disk.Nominal(), rng.New(seed).Split("r"))
+	g.StartRebuild(0, repl, nil)
+	c.ControllerFailover()
+	c.Journal.Log(1_000_000)
+	// The enclosure housing other members of the group drops during the
+	// rebuild (the compounding hardware failure of the incident).
+	eng.RunFor(sim.Hour)
+	c.FailEnclosure(1)
+	eng.RunFor(17 * sim.Hour)
+
+	rep := IncidentReport{}
+	rep.JournalLost = c.TakeOffline()
+	for _, gg := range c.Groups() {
+		if gg.State() == raid.Failed {
+			rep.GroupsFailed++
+		}
+	}
+	rep.FilesRecovered, rep.FilesLost = c.RecoverFiles(rng.New(seed).Split("rec"), 0.95)
+	return rep
+}
+
+func TestHumanErrorScenarioBasic(t *testing.T) {
+	eng := sim.NewEngine()
+	groups := smallGroups(eng, 2, 30)
+	for _, g := range groups {
+		g.RebuildPause = 30 * sim.Minute
+		g.RebuildChunk = 8
+	}
+	c := raid.NewCouplet(eng, 0, raid.Spider1Layout(), groups)
+	rep := HumanErrorScenario(eng, c, 500_000, 0.95, rng.New(31))
+	// No enclosure loss in the base scenario: no group fails, but taking
+	// the array offline mid-rebuild still drops the journal.
+	if rep.GroupsFailed != 0 {
+		t.Fatalf("groups failed = %d", rep.GroupsFailed)
+	}
+	if rep.JournalLost != 500_000 {
+		t.Fatalf("journal lost = %d; rebuild should still be running at 18h", rep.JournalLost)
+	}
+	if rep.FilesRecovered+rep.FilesLost != 500_000 {
+		t.Fatalf("recovery accounting: %d + %d", rep.FilesRecovered, rep.FilesLost)
+	}
+}

@@ -1,0 +1,55 @@
+package lustre
+
+import (
+	"fmt"
+	"testing"
+
+	"spiderfs/internal/rng"
+	"spiderfs/internal/sim"
+	"spiderfs/internal/topology"
+)
+
+// BenchmarkWriteRPCPath measures the full client write RPC chain
+// (transport -> OSS CPU -> controller cache) per MiB.
+func BenchmarkWriteRPCPath(b *testing.B) {
+	eng := sim.NewEngine()
+	fs := Build(eng, TestNamespace(), rng.New(1))
+	client := NewClient(0, topology.Coord{}, fs, NullTransport{Eng: eng})
+	var file *File
+	fs.Create("bench/f", 4, func(f *File) { file = f })
+	eng.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		client.WriteStream(file, 1<<20, 1<<20, nil)
+		if i%32 == 31 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}
+
+// BenchmarkMetadataCreate measures namespace create throughput.
+func BenchmarkMetadataCreate(b *testing.B) {
+	eng := sim.NewEngine()
+	fs := Build(eng, TestNamespace(), rng.New(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs.Create(fmt.Sprintf("bench/d%d/f%d", i%64, i), 1, nil)
+		if i%256 == 255 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}
+
+// BenchmarkNamespaceBuild measures full namespace construction (the
+// fixed cost every experiment pays).
+func BenchmarkNamespaceBuild(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		_ = Build(eng, TestNamespace(), rng.New(uint64(i)))
+	}
+}

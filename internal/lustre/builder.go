@@ -1,0 +1,108 @@
+package lustre
+
+import (
+	"fmt"
+
+	"spiderfs/internal/disk"
+	"spiderfs/internal/raid"
+	"spiderfs/internal/rng"
+	"spiderfs/internal/sim"
+)
+
+// Params sizes a namespace build. One SSU carries OSTsPerSSU RAID
+// groups behind one controller couplet and OSSPerSSU object storage
+// servers.
+type Params struct {
+	Name       string
+	NumSSU     int
+	OSTsPerSSU int
+	OSSPerSSU  int
+
+	GroupCfg raid.GroupConfig
+	DiskCfg  disk.Config
+	DiskSpec disk.PopulationSpec
+	CtrlCfg  ControllerConfig
+	OSSCfg   OSSConfig
+	MDSCfg   MDSConfig
+
+	DefaultStripeCount int
+	DefaultStripeSize  int64
+}
+
+// Spider2Namespace returns one of Spider II's two namespaces at full
+// scale: 18 SSUs x 56 OSTs x 10 disks = 10,080 drives, 1,008 OSTs, 144
+// OSSes (the real file system was 36 SSUs split into two namespaces).
+func Spider2Namespace() Params {
+	return Params{
+		Name:               "atlas1",
+		NumSSU:             18,
+		OSTsPerSSU:         56,
+		OSSPerSSU:          8,
+		GroupCfg:           raid.Spider2Group(),
+		DiskCfg:            disk.NLSAS2TB(),
+		DiskSpec:           disk.DefaultPopulation(),
+		CtrlCfg:            Spider2Controller(),
+		OSSCfg:             Spider2OSS(),
+		MDSCfg:             Spider2MDS(),
+		DefaultStripeCount: 4,
+		DefaultStripeSize:  1 << 20,
+	}
+}
+
+// Scale returns a copy with SSU count divided by f (minimum 1),
+// preserving the per-SSU shape so per-SSU behaviour is unchanged and
+// aggregate numbers scale linearly. Used to keep big sweeps tractable.
+func (p Params) Scale(f int) Params {
+	if f < 1 {
+		f = 1
+	}
+	p.NumSSU = p.NumSSU / f
+	if p.NumSSU < 1 {
+		p.NumSSU = 1
+	}
+	return p
+}
+
+// TestNamespace returns a tiny namespace for unit tests: 1 SSU, 4 OSTs
+// on small disks.
+func TestNamespace() Params {
+	p := Spider2Namespace()
+	p.Name = "test"
+	p.NumSSU = 1
+	p.OSTsPerSSU = 4
+	p.OSSPerSSU = 2
+	p.DiskCfg.Capacity = 2 << 30
+	return p
+}
+
+// Build manufactures the namespace: disks, RAID groups, controllers,
+// OSTs, OSSes, and MDS, wired together on eng.
+func Build(eng *sim.Engine, p Params, src *rng.Source) *FS {
+	if p.NumSSU < 1 || p.OSTsPerSSU < 1 || p.OSSPerSSU < 1 {
+		panic("lustre: invalid namespace shape")
+	}
+	var osts []*OST
+	var osses []*OSS
+	var ctrls []*Controller
+	var ostOSS []int
+	ostID := 0
+	for ssu := 0; ssu < p.NumSSU; ssu++ {
+		ctrl := NewController(eng, ssu, p.CtrlCfg)
+		ctrls = append(ctrls, ctrl)
+		groups := raid.BuildGroups(eng, p.OSTsPerSSU, p.GroupCfg, p.DiskCfg, p.DiskSpec, src.Split(fmt.Sprintf("ssu-%d", ssu)))
+		ssuOSSBase := len(osses)
+		for i := 0; i < p.OSSPerSSU; i++ {
+			osses = append(osses, NewOSS(eng, ssuOSSBase+i, p.OSSCfg))
+		}
+		for i, g := range groups {
+			ost := NewOST(eng, ostID, g, ctrl, src.Split(fmt.Sprintf("ost-%d", ostID)))
+			osts = append(osts, ost)
+			ostOSS = append(ostOSS, ssuOSSBase+i%p.OSSPerSSU)
+			ostID++
+		}
+	}
+	fs := NewFS(eng, p.Name, NewMDS(eng, p.MDSCfg), osts, osses, ctrls, ostOSS)
+	fs.DefaultStripeCount = p.DefaultStripeCount
+	fs.DefaultStripeSize = p.DefaultStripeSize
+	return fs
+}

@@ -1,0 +1,196 @@
+package lustre
+
+import (
+	"spiderfs/internal/netsim"
+	"spiderfs/internal/rng"
+	"spiderfs/internal/sim"
+	"spiderfs/internal/topology"
+)
+
+// Transport carries RPC payloads from a client to an OSS. The lustre
+// package ships two implementations: NullTransport (infinite network,
+// for file-system-level studies) and FabricTransport (the full
+// Gemini+IB path).
+type Transport interface {
+	Send(from topology.Coord, oss int, bytes int64, done func())
+}
+
+// NullTransport delivers instantly; use it to benchmark the storage
+// stack in isolation (the paper's obdfilter-survey level).
+type NullTransport struct{ Eng *sim.Engine }
+
+// Send implements Transport.
+func (n NullTransport) Send(_ topology.Coord, _ int, _ int64, done func()) {
+	n.Eng.After(0, done)
+}
+
+// FabricTransport routes payloads over a netsim.Fabric with the chosen
+// routing discipline.
+type FabricTransport struct {
+	Fabric *netsim.Fabric
+	Mode   netsim.RouteMode
+	Src    *rng.Source
+}
+
+// Send implements Transport.
+func (t FabricTransport) Send(from topology.Coord, oss int, bytes int64, done func()) {
+	path := t.Fabric.ClientPath(from, oss, t.Mode, t.Src)
+	t.Fabric.Net.StartFlow(path, float64(bytes), func() { done() })
+}
+
+// Client is one compute-node Lustre client issuing pipelined RPC
+// streams, like an IOR file-per-process rank.
+type Client struct {
+	ID    int
+	Coord topology.Coord
+	FS    *FS
+	TR    Transport
+
+	// Window is the number of RPCs kept in flight (Lustre's
+	// max_rpcs_in_flight, default 8).
+	Window int
+
+	// MaxRPC caps the wire RPC size (1 MiB in Lustre of the Spider II
+	// era): application transfers larger than this are split, which is
+	// why Fig. 3 plateaus past 1 MiB rather than improving.
+	MaxRPC int64
+
+	BytesWritten int64
+	BytesRead    int64
+	RPCsSent     uint64
+}
+
+// NewClient builds a client at the given torus coordinate.
+func NewClient(id int, coord topology.Coord, fs *FS, tr Transport) *Client {
+	return &Client{ID: id, Coord: coord, FS: fs, TR: tr, Window: 8, MaxRPC: 1 << 20}
+}
+
+// stream drives one pipelined RPC stream.
+type stream struct {
+	c           *Client
+	f           *File
+	xfer        int64
+	total       int64 // 0 means unbounded (stonewall-only)
+	deadline    sim.Time
+	hasDeadline bool
+	write       bool
+	random      bool
+
+	issued    int64
+	acked     int64
+	inFlight  int
+	stopped   bool
+	done      func(bytes int64)
+	stripeIdx int
+}
+
+func (s *stream) pump() {
+	eng := s.c.FS.eng
+	for s.inFlight < s.c.Window && !s.stopped {
+		if s.total > 0 && s.issued >= s.total {
+			break
+		}
+		if s.hasDeadline && eng.Now() >= s.deadline {
+			s.stopped = true
+			break
+		}
+		size := s.xfer
+		if max := s.c.MaxRPC; max > 0 && size > max {
+			size = max
+		}
+		if s.total > 0 && s.issued+size > s.total {
+			size = s.total - s.issued
+		}
+		s.issue(size)
+	}
+	if s.inFlight == 0 {
+		finished := s.total > 0 && s.acked >= s.total
+		timedOut := s.stopped || (s.hasDeadline && eng.Now() >= s.deadline)
+		if finished || timedOut {
+			if s.done != nil {
+				d := s.done
+				s.done = nil
+				d(s.acked)
+			}
+		}
+	}
+}
+
+func (s *stream) issue(size int64) {
+	s.issued += size
+	s.inFlight++
+	s.c.RPCsSent++
+	oi := s.f.OSTIndices[s.stripeIdx%len(s.f.OSTIndices)]
+	obj := s.f.Objects[s.stripeIdx%len(s.f.OSTIndices)]
+	s.stripeIdx++
+	ossIdx := s.c.FS.ostOSS[oi]
+	oss := s.c.FS.OSSes[ossIdx]
+	fs := s.c.FS
+	complete := func() {
+		s.inFlight--
+		s.acked += size
+		if s.write {
+			s.c.BytesWritten += size
+			s.f.MTime = fs.eng.Now()
+		} else {
+			s.c.BytesRead += size
+			s.f.ATime = fs.eng.Now()
+		}
+		s.pump()
+	}
+	if s.write {
+		s.c.TR.Send(s.c.Coord, ossIdx, size, func() {
+			oss.Service(size, func() {
+				obj.Write(size, complete)
+			})
+		})
+	} else {
+		// Read: request travels to the OSS, data is produced, and the
+		// payload returns over the same fabric path class.
+		oss.Service(size, func() {
+			obj.Read(size, s.random, func() {
+				s.c.TR.Send(s.c.Coord, ossIdx, size, complete)
+			})
+		})
+	}
+}
+
+// WriteStream writes total bytes to f in xfer-sized RPCs, round-robin
+// across the file's stripes, keeping Window RPCs in flight. done (may be
+// nil) receives the bytes acknowledged.
+func (c *Client) WriteStream(f *File, total, xfer int64, done func(int64)) {
+	if xfer <= 0 || total <= 0 {
+		panic("lustre: WriteStream needs positive sizes")
+	}
+	s := &stream{c: c, f: f, xfer: xfer, total: total, write: true, done: done}
+	s.pump()
+}
+
+// WriteUntil writes xfer-sized RPCs to f until the deadline (stonewall
+// mode, as the paper's IOR runs used), then reports bytes acknowledged.
+func (c *Client) WriteUntil(f *File, deadline sim.Time, xfer int64, done func(int64)) {
+	if xfer <= 0 {
+		panic("lustre: WriteUntil needs positive xfer")
+	}
+	s := &stream{c: c, f: f, xfer: xfer, deadline: deadline, hasDeadline: true, write: true, done: done}
+	s.pump()
+}
+
+// ReadStream reads total bytes from f; random selects a seeky access
+// pattern (data analytics) versus streaming.
+func (c *Client) ReadStream(f *File, total, xfer int64, random bool, done func(int64)) {
+	if xfer <= 0 || total <= 0 {
+		panic("lustre: ReadStream needs positive sizes")
+	}
+	s := &stream{c: c, f: f, xfer: xfer, total: total, random: random, done: done}
+	s.pump()
+}
+
+// ReadUntil reads until the deadline (stonewall), reporting bytes read.
+func (c *Client) ReadUntil(f *File, deadline sim.Time, xfer int64, random bool, done func(int64)) {
+	if xfer <= 0 {
+		panic("lustre: ReadUntil needs positive xfer")
+	}
+	s := &stream{c: c, f: f, xfer: xfer, deadline: deadline, hasDeadline: true, random: random, done: done}
+	s.pump()
+}

@@ -1,0 +1,214 @@
+package lustre
+
+import (
+	"fmt"
+	"testing"
+
+	"spiderfs/internal/rng"
+	"spiderfs/internal/sim"
+	"spiderfs/internal/topology"
+)
+
+// --- §IV-D high-performance journaling ---
+
+func journalRun(t *testing.T, mode JournalMode) float64 {
+	t.Helper()
+	eng := sim.NewEngine()
+	fs := Build(eng, TestNamespace(), rng.New(77))
+	for _, ost := range fs.OSTs {
+		ost.Journal = mode
+	}
+	client := NewClient(0, topology.Coord{}, fs, NullTransport{Eng: eng})
+	var file *File
+	fs.Create("j/data", 4, func(f *File) { file = f })
+	eng.Run()
+	start := eng.Now()
+	total := int64(64 << 20)
+	client.WriteStream(file, total, 1<<20, nil)
+	eng.Run() // drain to disk: journaling costs show at flush time
+	return float64(total) / (eng.Now() - start).Seconds() / 1e6
+}
+
+func TestHPJournalingBeatsSyncJournal(t *testing.T) {
+	hp := journalRun(t, HPJournal)
+	sync := journalRun(t, SyncJournal)
+	gain := hp / sync
+	if gain < 1.2 {
+		t.Fatalf("HP journaling gain = %.2fx (hp %.0f vs sync %.0f MB/s); the funded feature should matter", gain, hp, sync)
+	}
+	if gain > 12 {
+		t.Fatalf("HP journaling gain = %.2fx implausibly large", gain)
+	}
+}
+
+func TestSyncJournalCountsCommits(t *testing.T) {
+	eng := sim.NewEngine()
+	fs := Build(eng, TestNamespace(), rng.New(78))
+	fs.OSTs[0].Journal = SyncJournal
+	var file *File
+	fs.CreateOn("j/f", []int{0}, func(f *File) { file = f })
+	eng.Run()
+	client := NewClient(0, topology.Coord{}, fs, NullTransport{Eng: eng})
+	client.WriteStream(file, 8<<20, 1<<20, nil)
+	eng.Run()
+	if fs.OSTs[0].JournalCommits == 0 {
+		t.Fatal("no journal commits recorded")
+	}
+}
+
+// --- §IV-D imperative recovery ---
+
+func TestOSSFailStallsAndReplays(t *testing.T) {
+	eng := sim.NewEngine()
+	fs := Build(eng, TestNamespace(), rng.New(79))
+	oss := fs.OSSes[0]
+	oss.Fail()
+	done := false
+	oss.Service(1<<20, func() { done = true })
+	eng.Run()
+	if done {
+		t.Fatal("RPC completed against a failed OSS")
+	}
+	if oss.StalledRPCs != 1 {
+		t.Fatalf("stalled = %d", oss.StalledRPCs)
+	}
+	oss.Recover()
+	eng.Run()
+	if !done {
+		t.Fatal("stalled RPC not replayed at recovery")
+	}
+	oss.Recover() // idempotent
+}
+
+func TestImperativeRecoveryShortensOutage(t *testing.T) {
+	run := func(imperative bool) sim.Time {
+		eng := sim.NewEngine()
+		fs := Build(eng, TestNamespace(), rng.New(80))
+		var outage sim.Time
+		FailOSS(fs, 0, DefaultRecovery(imperative), func(d sim.Time) { outage = d })
+		eng.Run()
+		return outage
+	}
+	without := run(false)
+	with := run(true)
+	if with >= without {
+		t.Fatalf("IR outage %v not shorter than %v", with, without)
+	}
+	// 15+5+30=50s vs 15+300+30=345s.
+	if with != 50*sim.Second || without != 345*sim.Second {
+		t.Fatalf("outages = %v / %v, want 50s / 345s", with, without)
+	}
+}
+
+func TestFailOSSStallsApplicationWrites(t *testing.T) {
+	eng := sim.NewEngine()
+	fs := Build(eng, TestNamespace(), rng.New(81))
+	client := NewClient(0, topology.Coord{}, fs, NullTransport{Eng: eng})
+	var file *File
+	fs.CreateOn("app/f", []int{0}, func(f *File) { file = f }) // OST0 -> OSS0
+	eng.Run()
+	cfg := DefaultRecovery(true)
+	FailOSS(fs, 0, cfg, nil)
+	var doneAt sim.Time
+	client.WriteStream(file, 4<<20, 1<<20, func(int64) { doneAt = eng.Now() })
+	eng.Run()
+	if doneAt < cfg.OutageDuration() {
+		t.Fatalf("write finished at %v, before the %v outage ended", doneAt, cfg.OutageDuration())
+	}
+}
+
+func TestDoubleFailPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	fs := Build(eng, TestNamespace(), rng.New(82))
+	FailOSS(fs, 0, DefaultRecovery(true), nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	FailOSS(fs, 0, DefaultRecovery(true), nil)
+}
+
+// --- DNE ---
+
+func TestDNEShardsMetadata(t *testing.T) {
+	eng := sim.NewEngine()
+	fs := Build(eng, TestNamespace(), rng.New(83))
+	fs.EnableDNE(4, Spider2MDS())
+	if len(fs.MDTs) != 4 {
+		t.Fatalf("MDTs = %d", len(fs.MDTs))
+	}
+	// Files in distinct top-level dirs land on multiple MDTs.
+	for i := 0; i < 64; i++ {
+		fs.Create(fmt.Sprintf("proj%02d/file", i), 1, nil)
+	}
+	eng.Run()
+	active := 0
+	var total uint64
+	for _, m := range fs.MDTs {
+		if m.Creates > 0 {
+			active++
+		}
+		total += m.Creates
+	}
+	if total != 64 {
+		t.Fatalf("creates across MDTs = %d", total)
+	}
+	if active < 3 {
+		t.Fatalf("only %d MDTs received creates; sharding broken", active)
+	}
+	if fs.MetadataOps() != total {
+		t.Fatalf("MetadataOps = %d, want %d", fs.MetadataOps(), total)
+	}
+}
+
+func TestDNESameDirSameMDT(t *testing.T) {
+	eng := sim.NewEngine()
+	fs := Build(eng, TestNamespace(), rng.New(84))
+	fs.EnableDNE(4, Spider2MDS())
+	for i := 0; i < 20; i++ {
+		fs.Create(fmt.Sprintf("fixed/f%02d", i), 1, nil)
+	}
+	eng.Run()
+	nonzero := 0
+	for _, m := range fs.MDTs {
+		if m.Creates > 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 1 {
+		t.Fatalf("one directory spread across %d MDTs; must stay on its shard", nonzero)
+	}
+}
+
+func TestDNERaisesMetadataThroughput(t *testing.T) {
+	storm := func(mdts int) sim.Time {
+		eng := sim.NewEngine()
+		fs := Build(eng, TestNamespace(), rng.New(85))
+		if mdts > 1 {
+			fs.EnableDNE(mdts, Spider2MDS())
+		}
+		start := eng.Now()
+		issued := 0
+		var worker func(w int)
+		worker = func(w int) {
+			if issued >= 2000 {
+				return
+			}
+			i := issued
+			issued++
+			fs.Create(fmt.Sprintf("dir%03d/f%06d", i%64, i), 1, func(*File) { worker(w) })
+		}
+		for w := 0; w < 32; w++ {
+			worker(w)
+		}
+		eng.Run()
+		return eng.Now() - start
+	}
+	single := storm(1)
+	dne := storm(4)
+	speedup := float64(single) / float64(dne)
+	if speedup < 2 {
+		t.Fatalf("DNE(4) speedup = %.2fx, want >2x", speedup)
+	}
+}

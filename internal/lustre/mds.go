@@ -1,0 +1,65 @@
+package lustre
+
+import "spiderfs/internal/sim"
+
+// MDSConfig sets the metadata server's service profile. Lustre (pre-DNE)
+// supports a single MDS per namespace — the central scaling limit that
+// drove OLCF to multiple namespaces (Lesson 10).
+type MDSConfig struct {
+	Threads int
+	Create  sim.Time
+	Stat    sim.Time
+	Unlink  sim.Time
+	Mkdir   sim.Time
+	Lookup  sim.Time
+}
+
+// Spider2MDS returns a production-class MDS profile (~20k creates/s,
+// ~50k stats/s peak).
+func Spider2MDS() MDSConfig {
+	return MDSConfig{
+		Threads: 8,
+		Create:  400 * sim.Microsecond,
+		Stat:    150 * sim.Microsecond,
+		Unlink:  300 * sim.Microsecond,
+		Mkdir:   250 * sim.Microsecond,
+		Lookup:  80 * sim.Microsecond,
+	}
+}
+
+// MDS is the metadata server of one namespace.
+type MDS struct {
+	cfg MDSConfig
+	srv *sim.Server
+
+	Creates, Stats, Unlinks, Mkdirs, Lookups uint64
+}
+
+// NewMDS builds an MDS on eng.
+func NewMDS(eng *sim.Engine, cfg MDSConfig) *MDS {
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	return &MDS{cfg: cfg, srv: sim.NewServer(eng, "mds", cfg.Threads)}
+}
+
+// Utilization reports the MDS thread-pool busy fraction — the saturation
+// signal for the single-vs-multiple namespace experiment.
+func (m *MDS) Utilization() float64 { return m.srv.Utilization() }
+
+// QueueLen reports queued metadata operations.
+func (m *MDS) QueueLen() int { return m.srv.QueueLen() }
+
+// MeanWait reports the mean metadata op queueing delay.
+func (m *MDS) MeanWait() sim.Time { return m.srv.MeanWait() }
+
+// Ops returns the total operations served.
+func (m *MDS) Ops() uint64 {
+	return m.Creates + m.Stats + m.Unlinks + m.Mkdirs + m.Lookups
+}
+
+func (m *MDS) create(done func()) { m.Creates++; m.srv.Submit(m.cfg.Create, done) }
+func (m *MDS) stat(done func())   { m.Stats++; m.srv.Submit(m.cfg.Stat, done) }
+func (m *MDS) unlink(done func()) { m.Unlinks++; m.srv.Submit(m.cfg.Unlink, done) }
+func (m *MDS) mkdir(done func())  { m.Mkdirs++; m.srv.Submit(m.cfg.Mkdir, done) }
+func (m *MDS) lookup(done func()) { m.Lookups++; m.srv.Submit(m.cfg.Lookup, done) }

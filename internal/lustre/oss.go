@@ -1,0 +1,96 @@
+package lustre
+
+import "spiderfs/internal/sim"
+
+// OSSConfig describes an object storage server's CPU budget.
+type OSSConfig struct {
+	Cores       int
+	FixedPerRPC sim.Time // obdfilter + ptlrpc per-request software cost
+	PerByte     sim.Time // data-movement CPU cost per byte
+}
+
+// Spider2OSS returns the production OSS class: the software path costs
+// ~1 ns/byte (so ~1 GB/s per core of copy work) plus tens of
+// microseconds of per-RPC overhead.
+func Spider2OSS() OSSConfig {
+	return OSSConfig{Cores: 8, FixedPerRPC: 30 * sim.Microsecond, PerByte: 1}
+}
+
+// OSS is one object storage server fronting several OSTs. Every data RPC
+// passes through its CPU before reaching the controller.
+type OSS struct {
+	ID  int
+	cfg OSSConfig
+	cpu *sim.Server
+
+	RPCs  uint64
+	Bytes int64
+
+	down    bool
+	stalled []func()
+	// StalledRPCs counts requests that arrived while the server was
+	// down and had to wait for recovery.
+	StalledRPCs uint64
+}
+
+// NewOSS builds an OSS on eng.
+func NewOSS(eng *sim.Engine, id int, cfg OSSConfig) *OSS {
+	if cfg.Cores < 1 {
+		cfg.Cores = 1
+	}
+	return &OSS{ID: id, cfg: cfg, cpu: sim.NewServer(eng, "oss", cfg.Cores)}
+}
+
+// Utilization reports CPU busy fraction.
+func (s *OSS) Utilization() float64 { return s.cpu.Utilization() }
+
+// QueueLen reports RPCs waiting for CPU.
+func (s *OSS) QueueLen() int { return s.cpu.QueueLen() }
+
+// Service runs the per-RPC software path for size bytes, then done.
+// While the server is down (crash/failover in progress), requests stall
+// and are replayed at recovery — the behaviour Lustre's recovery
+// machinery gives clients.
+func (s *OSS) Service(size int64, done func()) {
+	if s.down {
+		s.StalledRPCs++
+		s.stalled = append(s.stalled, func() { s.Service(size, done) })
+		return
+	}
+	s.RPCs++
+	s.Bytes += size
+	t := s.cfg.FixedPerRPC + sim.Time(size)*s.cfg.PerByte
+	s.cpu.Submit(t, done)
+}
+
+// Glimpse runs the small OST attribute callback used by stat on striped
+// files (size must be gathered from every OST holding a stripe — why the
+// paper tells users to keep small files at stripe count 1).
+func (s *OSS) Glimpse(done func()) {
+	if s.down {
+		s.StalledRPCs++
+		s.stalled = append(s.stalled, func() { s.Glimpse(done) })
+		return
+	}
+	s.RPCs++
+	s.cpu.Submit(s.cfg.FixedPerRPC/2, done)
+}
+
+// Fail takes the server down; requests stall until Recover.
+func (s *OSS) Fail() { s.down = true }
+
+// Down reports whether the server is failed.
+func (s *OSS) Down() bool { return s.down }
+
+// Recover brings the server back and replays stalled requests.
+func (s *OSS) Recover() {
+	if !s.down {
+		return
+	}
+	s.down = false
+	stalled := s.stalled
+	s.stalled = nil
+	for _, fn := range stalled {
+		fn()
+	}
+}

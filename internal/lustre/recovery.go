@@ -1,0 +1,63 @@
+package lustre
+
+import "spiderfs/internal/sim"
+
+// RecoveryConfig models Lustre's server-failure recovery path. OLCF
+// direct-funded "imperative recovery" (§IV-D): instead of clients
+// discovering a failed-over server by RPC timeout, the management
+// server notifies them immediately, collapsing the reconnect phase from
+// minutes to seconds.
+type RecoveryConfig struct {
+	// Detection is the time for the HA framework to declare the server
+	// dead and start the failover partner.
+	Detection sim.Time
+	// ClientTimeout is how long clients take to notice without
+	// imperative recovery (RPC/bulk timeouts plus backoff).
+	ClientTimeout sim.Time
+	// IRNotify is the MGS notification latency with imperative recovery.
+	IRNotify sim.Time
+	// Replay is the transaction-replay window once clients reconnect.
+	Replay sim.Time
+	// Imperative selects the funded feature.
+	Imperative bool
+}
+
+// DefaultRecovery mirrors production Lustre constants of the era.
+func DefaultRecovery(imperative bool) RecoveryConfig {
+	return RecoveryConfig{
+		Detection:     15 * sim.Second,
+		ClientTimeout: 300 * sim.Second,
+		IRNotify:      5 * sim.Second,
+		Replay:        30 * sim.Second,
+		Imperative:    imperative,
+	}
+}
+
+// OutageDuration returns the total unavailability window the
+// configuration implies.
+func (c RecoveryConfig) OutageDuration() sim.Time {
+	reconnect := c.ClientTimeout
+	if c.Imperative {
+		reconnect = c.IRNotify
+	}
+	return c.Detection + reconnect + c.Replay
+}
+
+// FailOSS crashes the given OSS now and schedules its recovery per cfg.
+// In-flight and newly issued RPCs to the server stall and replay when
+// the failover completes; done (may be nil) receives the realized
+// outage duration.
+func FailOSS(fs *FS, oss int, cfg RecoveryConfig, done func(outage sim.Time)) {
+	s := fs.OSSes[oss]
+	if s.Down() {
+		panic("lustre: OSS already down")
+	}
+	start := fs.eng.Now()
+	s.Fail()
+	fs.eng.After(cfg.OutageDuration(), func() {
+		s.Recover()
+		if done != nil {
+			done(fs.eng.Now() - start)
+		}
+	})
+}

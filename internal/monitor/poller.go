@@ -1,0 +1,190 @@
+package monitor
+
+import (
+	"fmt"
+
+	"spiderfs/internal/lustre"
+	"spiderfs/internal/sim"
+)
+
+// Point is one time-series sample.
+type Point struct {
+	At    sim.Time
+	Value float64
+}
+
+// TimeSeries is a bounded in-memory series (the MySQL store of the DDN
+// tool, reduced to what the analyses need).
+type TimeSeries struct {
+	Name   string
+	Max    int
+	Points []Point
+}
+
+// Add appends a sample, evicting the oldest beyond Max.
+func (ts *TimeSeries) Add(at sim.Time, v float64) {
+	ts.Points = append(ts.Points, Point{At: at, Value: v})
+	if ts.Max > 0 && len(ts.Points) > ts.Max {
+		ts.Points = ts.Points[len(ts.Points)-ts.Max:]
+	}
+}
+
+// Last returns the most recent value, or 0 if empty.
+func (ts *TimeSeries) Last() float64 {
+	if len(ts.Points) == 0 {
+		return 0
+	}
+	return ts.Points[len(ts.Points)-1].Value
+}
+
+// Values extracts the raw values (for stats / IOSI input).
+func (ts *TimeSeries) Values() []float64 {
+	out := make([]float64, len(ts.Points))
+	for i, p := range ts.Points {
+		out[i] = p.Value
+	}
+	return out
+}
+
+// Store holds named series.
+type Store struct {
+	MaxPerSeries int
+	series       map[string]*TimeSeries
+}
+
+// NewStore builds a store; maxPerSeries bounds memory (0 = unbounded).
+func NewStore(maxPerSeries int) *Store {
+	return &Store{MaxPerSeries: maxPerSeries, series: map[string]*TimeSeries{}}
+}
+
+// Series returns (creating if needed) the named series.
+func (s *Store) Series(name string) *TimeSeries {
+	ts, ok := s.series[name]
+	if !ok {
+		ts = &TimeSeries{Name: name, Max: s.MaxPerSeries}
+		s.series[name] = ts
+	}
+	return ts
+}
+
+// Names returns the registered series names.
+func (s *Store) Names() []string {
+	out := make([]string, 0, len(s.series))
+	for n := range s.series {
+		out = append(out, n)
+	}
+	return out
+}
+
+// ControllerPoller samples each controller's request counters, inbound
+// bytes, and cache dirtiness at a fixed rate — the §IV-A "DDN Tool".
+type ControllerPoller struct {
+	eng      *sim.Engine
+	store    *Store
+	ctrls    []*lustre.Controller
+	interval sim.Time
+	stop     bool
+	pending  *sim.Event
+
+	lastRPCs  []uint64
+	lastBytes []int64
+	Samples   uint64
+}
+
+// NewControllerPoller starts polling immediately.
+func NewControllerPoller(eng *sim.Engine, store *Store, ctrls []*lustre.Controller, interval sim.Time) *ControllerPoller {
+	p := &ControllerPoller{
+		eng: eng, store: store, ctrls: ctrls, interval: interval,
+		lastRPCs: make([]uint64, len(ctrls)), lastBytes: make([]int64, len(ctrls)),
+	}
+	p.schedule()
+	return p
+}
+
+func (p *ControllerPoller) schedule() {
+	p.pending = p.eng.After(p.interval, func() {
+		if p.stop {
+			return
+		}
+		p.Samples++
+		secs := p.interval.Seconds()
+		for i, c := range p.ctrls {
+			rpcs := c.RPCs
+			bytes := c.BytesIn
+			p.store.Series(fmt.Sprintf("ctrl%d.rpc_rate", i)).Add(p.eng.Now(), float64(rpcs-p.lastRPCs[i])/secs)
+			p.store.Series(fmt.Sprintf("ctrl%d.write_bps", i)).Add(p.eng.Now(), float64(bytes-p.lastBytes[i])/secs)
+			p.store.Series(fmt.Sprintf("ctrl%d.dirty_bytes", i)).Add(p.eng.Now(), float64(c.Dirty()))
+			p.lastRPCs[i] = rpcs
+			p.lastBytes[i] = bytes
+		}
+		p.schedule()
+	})
+}
+
+// Stop halts polling and cancels the pending tick.
+func (p *ControllerPoller) Stop() {
+	p.stop = true
+	if p.pending != nil {
+		p.pending.Cancel()
+		p.pending = nil
+	}
+}
+
+// StandardChecks returns the check battery OLCF ran against a
+// namespace: OST fill (the purge/performance policy), MDS queue depth,
+// and controller cache pressure.
+func StandardChecks(fs *lustre.FS) []Check {
+	return []Check{
+		{
+			Name:     fs.Name + ".fill",
+			Interval: 10 * sim.Second,
+			Fn: func() Status {
+				f := fs.Fill()
+				switch {
+				case f > 0.90:
+					return Status{Critical, fmt.Sprintf("namespace %.0f%% full", f*100)}
+				case f > 0.70:
+					return Status{Warning, fmt.Sprintf("namespace %.0f%% full (performance degrades)", f*100)}
+				default:
+					return Status{OK, "fill nominal"}
+				}
+			},
+		},
+		{
+			Name:     fs.Name + ".mds",
+			Interval: 5 * sim.Second,
+			Fn: func() Status {
+				q := fs.MDS.QueueLen()
+				switch {
+				case q > 1000:
+					return Status{Critical, fmt.Sprintf("MDS queue %d", q)}
+				case q > 100:
+					return Status{Warning, fmt.Sprintf("MDS queue %d", q)}
+				default:
+					return Status{OK, "mds nominal"}
+				}
+			},
+		},
+		{
+			Name:     fs.Name + ".ctrl-cache",
+			Interval: 5 * sim.Second,
+			Fn: func() Status {
+				worst := 0.0
+				for _, c := range fs.Ctrls {
+					f := float64(c.Dirty()) / float64(c.Config().CacheBytes)
+					if f > worst {
+						worst = f
+					}
+				}
+				switch {
+				case worst > 0.95:
+					return Status{Critical, fmt.Sprintf("controller cache %.0f%% dirty", worst*100)}
+				case worst > 0.80:
+					return Status{Warning, fmt.Sprintf("controller cache %.0f%% dirty", worst*100)}
+				default:
+					return Status{OK, "cache nominal"}
+				}
+			},
+		},
+	}
+}

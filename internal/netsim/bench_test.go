@@ -1,0 +1,53 @@
+package netsim
+
+import (
+	"testing"
+
+	"spiderfs/internal/rng"
+	"spiderfs/internal/sim"
+	"spiderfs/internal/topology"
+)
+
+func placementForBench(cfg FabricConfig) topology.Placement {
+	return topology.PlaceRouters(topology.TitanCabinets(), cfg.Torus, 110, 9)
+}
+
+// BenchmarkFlowChurn measures flow setup/teardown with fair-share
+// re-rating on a shared link — netsim's dominant cost in big runs.
+func BenchmarkFlowChurn(b *testing.B) {
+	eng := sim.NewEngine()
+	n := NewNetwork(eng)
+	links := make([]*Link, 8)
+	for i := range links {
+		links[i] = n.NewLink("l", 1e9, 0)
+	}
+	src := rng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		path := []*Link{links[src.Intn(8)], links[src.Intn(8)]}
+		if path[0] == path[1] {
+			path = path[:1]
+		}
+		n.StartFlow(path, 1e6, nil)
+		if i%64 == 63 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}
+
+// BenchmarkClientPathFGR measures route computation on the full Titan
+// fabric.
+func BenchmarkClientPathFGR(b *testing.B) {
+	eng := sim.NewEngine()
+	cfg := Spider2Fabric()
+	pl := placementForBench(cfg)
+	f := NewFabric(eng, cfg, pl, 144)
+	src := rng.New(2)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := cfg.Torus.CoordOf(i % cfg.Torus.Nodes())
+		_ = f.ClientPath(c, i%144, RouteFGR, src)
+	}
+}

@@ -1,0 +1,119 @@
+package netsim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"spiderfs/internal/rng"
+	"spiderfs/internal/sim"
+	"spiderfs/internal/topology"
+)
+
+func TestDegradeSlowsActiveFlow(t *testing.T) {
+	eng := sim.NewEngine()
+	n := NewNetwork(eng)
+	l := n.NewLink("cable", 1e9, 0)
+	var doneAt sim.Time
+	n.StartFlow([]*Link{l}, 1e9, func() { doneAt = eng.Now() })
+	eng.At(sim.FromSeconds(0.5), func() { n.Degrade(l, 0.25) })
+	eng.Run()
+	// 0.5 GB in the first 0.5 s, then 0.5 GB at 250 MB/s = 2 s more.
+	if math.Abs(doneAt.Seconds()-2.5) > 1e-6 {
+		t.Fatalf("done at %v, want 2.5s", doneAt)
+	}
+}
+
+func TestRestoreRecovers(t *testing.T) {
+	eng := sim.NewEngine()
+	n := NewNetwork(eng)
+	l := n.NewLink("cable", 1e9, 0)
+	n.Degrade(l, 0.1)
+	if l.Cap != 1e8 {
+		t.Fatalf("cap = %g", l.Cap)
+	}
+	n.Restore(l)
+	if l.Cap != 1e9 {
+		t.Fatalf("restored cap = %g", l.Cap)
+	}
+	n.Restore(l) // idempotent
+	if l.Cap != 1e9 {
+		t.Fatal("double restore changed capacity")
+	}
+}
+
+func TestDegradeBadFracPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	n := NewNetwork(eng)
+	l := n.NewLink("cable", 1e9, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	n.Degrade(l, 0)
+}
+
+// The §IV-A procedure: exercise the fabric, then rank sibling cables by
+// normalized throughput; the degraded one surfaces at the top.
+func TestDiagnoseCablesFindsWeakLink(t *testing.T) {
+	eng := sim.NewEngine()
+	f := smallFabric(eng)
+	src := rng.New(9)
+	// Degrade one router's uplink to 20%.
+	weak := f.RouterUpLinks()[7]
+	f.Net.Degrade(weak, 0.2)
+	// Exercise each uplink in isolation with sustained offered load for
+	// a fixed window (the in-place procedure drives point tests over the
+	// suspect path class so shared-link effects don't confound it).
+	for _, up := range f.RouterUpLinks() {
+		f.Net.StartFlow([]*Link{up}, 1e13, nil)
+	}
+	eng.RunUntil(2 * sim.Second)
+	f.Net.Sync()
+	suspects := DiagnoseCables(f.RouterUpLinks(), eng.Now().Seconds())
+	if len(suspects) == 0 {
+		t.Fatal("no suspects returned")
+	}
+	if !strings.Contains(suspects[0].Name, weak.Name) {
+		t.Fatalf("worst suspect = %s, want %s (ranked list head)", suspects[0].Name, weak.Name)
+	}
+	if suspects[0].RatioToMedian > 0.7 {
+		t.Fatalf("weak cable ratio %.2f should flag below 0.7", suspects[0].RatioToMedian)
+	}
+	_ = src
+}
+
+func TestDiagnoseCablesSkipsIdle(t *testing.T) {
+	eng := sim.NewEngine()
+	n := NewNetwork(eng)
+	idle := n.NewLink("idle", 1e9, 0)
+	busy := n.NewLink("busy", 1e9, 0)
+	n.StartFlow([]*Link{busy}, 1e8, nil)
+	eng.Run()
+	suspects := DiagnoseCables([]*Link{idle, busy}, eng.Now().Seconds())
+	if len(suspects) != 1 || suspects[0].Name != "busy" {
+		t.Fatalf("suspects = %+v", suspects)
+	}
+	if DiagnoseCables(nil, 1) != nil {
+		t.Fatal("empty input should return nil")
+	}
+}
+
+func TestDegradedFabricVisibleInCongestion(t *testing.T) {
+	eng := sim.NewEngine()
+	f := smallFabric(eng)
+	src := rng.New(10)
+	weak := f.RouterUpLinks()[3]
+	f.Net.Degrade(weak, 0.3)
+	done := 0
+	for i := 0; i < 16; i++ {
+		c := f.Cfg.Torus.CoordOf((i * 5) % f.Cfg.Torus.Nodes())
+		f.StartClientFlow(c, i%32, RouteFGR, 2e8, src, func() { done++ })
+	}
+	eng.Run()
+	if done != 16 {
+		t.Fatalf("done = %d", done)
+	}
+	_ = topology.Coord{}
+}

@@ -1,0 +1,254 @@
+package netsim
+
+import (
+	"fmt"
+
+	"spiderfs/internal/rng"
+	"spiderfs/internal/sim"
+	"spiderfs/internal/topology"
+)
+
+// FabricConfig sets the link capacities of the end-to-end I/O path.
+// Defaults mirror the Titan/Spider II deployment: Gemini torus links of
+// a few GB/s with a slower Y dimension, LNET routers forwarding ~2.8
+// GB/s each, and FDR InfiniBand at ~6 GB/s per port.
+type FabricConfig struct {
+	Torus topology.Torus
+
+	GeminiXBps   float64
+	GeminiYBps   float64
+	GeminiZBps   float64
+	InjectBps    float64 // compute node NIC injection
+	RouterBps    float64 // LNET router forwarding capacity
+	IBPortBps    float64 // router/OSS <-> leaf switch port
+	CoreTrunkBps float64 // leaf <-> core aggregate trunk
+
+	GeminiLatency sim.Time
+	IBLatency     sim.Time
+}
+
+// Spider2Fabric returns the production-like configuration.
+func Spider2Fabric() FabricConfig {
+	return FabricConfig{
+		Torus:         topology.TitanTorus(),
+		GeminiXBps:    9.4e9,
+		GeminiYBps:    4.7e9, // Gemini's Y dimension has half the links
+		GeminiZBps:    9.4e9,
+		InjectBps:     2.9e9,
+		RouterBps:     2.8e9,
+		IBPortBps:     6.0e9,
+		CoreTrunkBps:  40e9,
+		GeminiLatency: 2 * sim.Microsecond,
+		IBLatency:     1 * sim.Microsecond,
+	}
+}
+
+// Fabric is the built network: torus links, injection links, router
+// forwarding links, and the two-tier InfiniBand SAN. OSS endpoints are
+// identified by index; each OSS attaches to one leaf switch.
+type Fabric struct {
+	Cfg       FabricConfig
+	Net       *Network
+	Placement topology.Placement
+
+	// gem[nodeIdx][dir] with dir 0..5 = +x,-x,+y,-y,+z,-z.
+	gem    [][]*Link
+	inject []*Link
+
+	routerFwd []*Link // per router ID
+	routerUp  []*Link // router -> its leaf switch port
+	leafDown  []*Link // leaf switch -> attached OSS port group (shared per OSS)
+
+	ossLeaf []int   // OSS index -> leaf switch
+	ossPort []*Link // leaf -> OSS port
+
+	coreUp   []*Link // leaf -> core
+	coreDown []*Link // core -> leaf
+
+	nLeaves int
+	eng     *sim.Engine
+
+	// groupMods caches Placement.ModulesInGroup per group: the FGR
+	// router selection runs once per RPC, so it must not allocate.
+	groupMods [][]topology.IOModule
+
+	// Router failure state (see routerfail.go).
+	failedRouters map[int]bool
+	arn           bool
+	StalledSends  uint64
+	StallTime     sim.Time
+}
+
+const (
+	dirXPlus = iota
+	dirXMinus
+	dirYPlus
+	dirYMinus
+	dirZPlus
+	dirZMinus
+)
+
+// NewFabric builds the full I/O fabric. nOSS object storage servers are
+// attached round-robin to the placement's leaf switches
+// (placement.Groups * topology.SwitchesPerGroup leaves).
+func NewFabric(eng *sim.Engine, cfg FabricConfig, placement topology.Placement, nOSS int) *Fabric {
+	f := &Fabric{
+		Cfg:       cfg,
+		Net:       NewNetwork(eng),
+		Placement: placement,
+		nLeaves:   placement.Groups * topology.SwitchesPerGroup,
+		eng:       eng,
+	}
+	f.groupMods = make([][]topology.IOModule, placement.Groups)
+	for g := range f.groupMods {
+		f.groupMods[g] = placement.ModulesInGroup(g)
+	}
+	t := cfg.Torus
+	n := t.Nodes()
+	f.gem = make([][]*Link, n)
+	f.inject = make([]*Link, n)
+	for i := 0; i < n; i++ {
+		c := t.CoordOf(i)
+		f.gem[i] = make([]*Link, 6)
+		mk := func(dir int, cap float64, tag string) {
+			f.gem[i][dir] = f.Net.NewLink(fmt.Sprintf("gem%v%s", c, tag), cap, cfg.GeminiLatency)
+		}
+		mk(dirXPlus, cfg.GeminiXBps, "+x")
+		mk(dirXMinus, cfg.GeminiXBps, "-x")
+		mk(dirYPlus, cfg.GeminiYBps, "+y")
+		mk(dirYMinus, cfg.GeminiYBps, "-y")
+		mk(dirZPlus, cfg.GeminiZBps, "+z")
+		mk(dirZMinus, cfg.GeminiZBps, "-z")
+		f.inject[i] = f.Net.NewLink(fmt.Sprintf("inj%v", c), cfg.InjectBps, cfg.GeminiLatency)
+	}
+
+	nRouters := 4 * len(placement.Modules)
+	f.routerFwd = make([]*Link, nRouters)
+	f.routerUp = make([]*Link, nRouters)
+	for _, m := range placement.Modules {
+		for k, rid := range m.RouterIDs {
+			sw := m.Group*topology.SwitchesPerGroup + k
+			f.routerFwd[rid] = f.Net.NewLink(fmt.Sprintf("rtr%d-fwd", rid), cfg.RouterBps, cfg.IBLatency)
+			f.routerUp[rid] = f.Net.NewLink(fmt.Sprintf("rtr%d-sw%d", rid, sw), cfg.IBPortBps, cfg.IBLatency)
+		}
+	}
+
+	f.coreUp = make([]*Link, f.nLeaves)
+	f.coreDown = make([]*Link, f.nLeaves)
+	for s := 0; s < f.nLeaves; s++ {
+		f.coreUp[s] = f.Net.NewLink(fmt.Sprintf("leaf%d-core", s), cfg.CoreTrunkBps, cfg.IBLatency)
+		f.coreDown[s] = f.Net.NewLink(fmt.Sprintf("core-leaf%d", s), cfg.CoreTrunkBps, cfg.IBLatency)
+	}
+
+	f.ossLeaf = make([]int, nOSS)
+	f.ossPort = make([]*Link, nOSS)
+	for i := 0; i < nOSS; i++ {
+		leaf := i % f.nLeaves
+		f.ossLeaf[i] = leaf
+		f.ossPort[i] = f.Net.NewLink(fmt.Sprintf("leaf%d-oss%d", leaf, i), cfg.IBPortBps, cfg.IBLatency)
+	}
+	return f
+}
+
+// OSSLeaf returns the leaf switch an OSS attaches to.
+func (f *Fabric) OSSLeaf(oss int) int { return f.ossLeaf[oss] }
+
+// NumRouters returns the number of LNET routers.
+func (f *Fabric) NumRouters() int { return len(f.routerFwd) }
+
+// routerSwitch returns the leaf switch router rid attaches to.
+func (f *Fabric) routerSwitch(rid int) int {
+	m := f.Placement.Modules[rid/4]
+	return m.Group*topology.SwitchesPerGroup + rid%4
+}
+
+// geminiPath appends the dimension-ordered torus links from a to b.
+func (f *Fabric) geminiPath(a, b topology.Coord) []*Link {
+	t := f.Cfg.Torus
+	var links []*Link
+	cur := a
+	for _, next := range t.Path(a, b) {
+		i := t.Index(cur)
+		var dir int
+		switch {
+		case next.X != cur.X:
+			if (cur.X+1)%t.NX == next.X {
+				dir = dirXPlus
+			} else {
+				dir = dirXMinus
+			}
+		case next.Y != cur.Y:
+			if (cur.Y+1)%t.NY == next.Y {
+				dir = dirYPlus
+			} else {
+				dir = dirYMinus
+			}
+		default:
+			if (cur.Z+1)%t.NZ == next.Z {
+				dir = dirZPlus
+			} else {
+				dir = dirZMinus
+			}
+		}
+		links = append(links, f.gem[i][dir])
+		cur = next
+	}
+	return links
+}
+
+// RouteMode selects the routing discipline.
+type RouteMode int
+
+const (
+	// RouteFGR is fine-grained routing: pick the router attached to the
+	// destination's leaf switch whose module is topologically closest to
+	// the client (Lesson 14's congestion avoidance).
+	RouteFGR RouteMode = iota
+	// RouteNaive picks a uniformly random router; traffic whose router
+	// leaf differs from the destination leaf crosses the core switches.
+	RouteNaive
+)
+
+// ClientPath computes the end-to-end link path from a compute client at
+// coordinate c to OSS oss: injection, Gemini hops to the chosen router,
+// router forwarding, router->leaf, (core crossing if leaves differ),
+// leaf->OSS port.
+func (f *Fabric) ClientPath(c topology.Coord, oss int, mode RouteMode, src *rng.Source) []*Link {
+	rid := f.selectRouter(c, f.ossLeaf[oss], mode, src, nil)
+	if rid < 0 {
+		panic("netsim: no eligible router")
+	}
+	return f.pathVia(c, oss, rid)
+}
+
+// CongestionReport summarizes fabric hot spots after a run.
+type CongestionReport struct {
+	MaxUtilization float64
+	HotLink        string
+	MeanGeminiUtil float64
+	CoreBytes      float64 // bytes that crossed the core tier
+}
+
+// Congestion computes the report at the current simulation time.
+func (f *Fabric) Congestion(now sim.Time) CongestionReport {
+	r := CongestionReport{}
+	r.MaxUtilization, r.HotLink = f.Net.MaxLinkUtilization()
+	var sum float64
+	var n int
+	for _, node := range f.gem {
+		for _, l := range node {
+			sum += l.Utilization(now)
+			n++
+		}
+	}
+	if n > 0 {
+		r.MeanGeminiUtil = sum / float64(n)
+	}
+	for _, l := range f.coreUp {
+		r.CoreBytes += l.BytesCarried
+	}
+	for _, l := range f.coreDown {
+		r.CoreBytes += l.BytesCarried
+	}
+	return r
+}

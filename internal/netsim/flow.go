@@ -1,0 +1,227 @@
+// Package netsim is a flow-level network simulator for the Spider I/O
+// path: Titan's Gemini 3D torus, the LNET router layer, and the SION
+// InfiniBand SAN. Transfers are modeled as fluid flows that share link
+// bandwidth; rates are reassigned whenever a flow starts or finishes.
+//
+// Rate assignment is egalitarian fair share: a flow's rate is the
+// minimum over its links of capacity/activeFlows. This is a conservative
+// approximation of max-min fairness (a link whose flows are bottlenecked
+// elsewhere does not redistribute its slack), which errs toward
+// congestion — appropriate for studying the congestion phenomena of
+// Lesson 14.
+package netsim
+
+import (
+	"fmt"
+
+	"spiderfs/internal/sim"
+)
+
+// Link is a unidirectional channel with fixed capacity shared equally by
+// the flows crossing it.
+type Link struct {
+	Name    string
+	Cap     float64  // bytes per second
+	Latency sim.Time // propagation/forwarding delay added once per flow
+
+	// nominal remembers pre-degradation capacity (see cable.go).
+	nominal float64
+
+	flows map[*Flow]struct{}
+
+	// Congestion accounting.
+	BytesCarried float64
+	MaxFlows     int
+}
+
+// Flows returns the number of flows currently crossing the link.
+func (l *Link) Flows() int { return len(l.flows) }
+
+// Utilization returns the fraction of capacity used over [0, now].
+func (l *Link) Utilization(now sim.Time) float64 {
+	if now <= 0 || l.Cap <= 0 {
+		return 0
+	}
+	return l.BytesCarried / (l.Cap * now.Seconds())
+}
+
+// Flow is one in-flight transfer.
+type Flow struct {
+	path       []*Link
+	size       float64
+	remaining  float64
+	rate       float64
+	lastUpdate sim.Time
+	completion *sim.Event
+	done       func()
+	net        *Network
+}
+
+// Rate returns the flow's current share in bytes/second.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Remaining returns bytes not yet delivered (as of the last rate event).
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Network owns links and flows for one engine.
+type Network struct {
+	eng    *sim.Engine
+	links  []*Link
+	active map[*Flow]struct{}
+
+	FlowsStarted   uint64
+	FlowsCompleted uint64
+	BytesDelivered float64
+}
+
+// NewNetwork creates an empty network on eng.
+func NewNetwork(eng *sim.Engine) *Network {
+	return &Network{eng: eng, active: map[*Flow]struct{}{}}
+}
+
+// Sync brings every active flow's progress accounting up to the current
+// time, so link counters can be read mid-transfer (live monitoring and
+// cable diagnosis need this).
+func (n *Network) Sync() {
+	for f := range n.active {
+		n.advance(f)
+	}
+}
+
+// NewLink creates and registers a link.
+func (n *Network) NewLink(name string, capBps float64, latency sim.Time) *Link {
+	if capBps <= 0 {
+		panic(fmt.Sprintf("netsim: link %q with non-positive capacity", name))
+	}
+	l := &Link{Name: name, Cap: capBps, Latency: latency, flows: map[*Flow]struct{}{}}
+	n.links = append(n.links, l)
+	return l
+}
+
+// Links returns all registered links (congestion reporting).
+func (n *Network) Links() []*Link { return n.links }
+
+// StartFlow launches a transfer of size bytes across path and calls done
+// (may be nil) at completion. An empty path completes after zero time.
+func (n *Network) StartFlow(path []*Link, size float64, done func()) *Flow {
+	if size <= 0 {
+		panic("netsim: flow with non-positive size")
+	}
+	n.FlowsStarted++
+	f := &Flow{path: path, size: size, remaining: size, lastUpdate: n.eng.Now(), done: done, net: n}
+	if len(path) == 0 {
+		n.eng.After(0, func() { n.finish(f) })
+		return f
+	}
+	n.active[f] = struct{}{}
+	var latency sim.Time
+	for _, l := range path {
+		l.flows[f] = struct{}{}
+		if len(l.flows) > l.MaxFlows {
+			l.MaxFlows = len(l.flows)
+		}
+		latency += l.Latency
+	}
+	// Fold path latency into the transfer by pre-charging it as time the
+	// flow spends before data moves: schedule the first rate assignment
+	// after the latency. For the bulk transfers Spider carries, latency
+	// is negligible against transfer time; this keeps bookkeeping simple.
+	f.lastUpdate = n.eng.Now() + latency
+	n.reassign(f.affected())
+	return f
+}
+
+// affected returns every flow sharing a link with f (including f).
+func (f *Flow) affected() map[*Flow]struct{} {
+	set := map[*Flow]struct{}{f: {}}
+	for _, l := range f.path {
+		for g := range l.flows {
+			set[g] = struct{}{}
+		}
+	}
+	return set
+}
+
+// advance accrues progress at the current rate up to now.
+func (n *Network) advance(f *Flow) {
+	now := n.eng.Now()
+	dt := now - f.lastUpdate
+	if dt > 0 && f.rate > 0 {
+		moved := f.rate * dt.Seconds()
+		if moved > f.remaining {
+			moved = f.remaining
+		}
+		f.remaining -= moved
+		for _, l := range f.path {
+			l.BytesCarried += moved
+		}
+	}
+	if now > f.lastUpdate {
+		f.lastUpdate = now
+	}
+}
+
+// reassign recomputes rates and completion events for the given flows.
+func (n *Network) reassign(flows map[*Flow]struct{}) {
+	for f := range flows {
+		n.advance(f)
+		rate := -1.0
+		for _, l := range f.path {
+			share := l.Cap / float64(len(l.flows))
+			if rate < 0 || share < rate {
+				rate = share
+			}
+		}
+		if rate < 0 {
+			rate = 0
+		}
+		f.rate = rate
+		f.completion.Cancel()
+		f.completion = nil
+		if rate > 0 {
+			dur := sim.FromSeconds(f.remaining / rate)
+			start := f.lastUpdate
+			if start < n.eng.Now() {
+				start = n.eng.Now()
+			}
+			at := start + dur
+			if at < n.eng.Now() {
+				at = n.eng.Now()
+			}
+			ff := f
+			f.completion = n.eng.At(at, func() { n.finish(ff) })
+		}
+	}
+}
+
+// finish tears the flow down and redistributes its bandwidth.
+func (n *Network) finish(f *Flow) {
+	n.advance(f)
+	n.BytesDelivered += f.size
+	f.remaining = 0
+	aff := f.affected()
+	delete(aff, f)
+	for _, l := range f.path {
+		delete(l.flows, f)
+	}
+	f.rate = 0
+	delete(n.active, f)
+	n.FlowsCompleted++
+	n.reassign(aff)
+	if f.done != nil {
+		f.done()
+	}
+}
+
+// MaxLinkUtilization returns the highest utilization across links and
+// that link's name — the hot-spot metric of Lesson 14.
+func (n *Network) MaxLinkUtilization() (float64, string) {
+	now := n.eng.Now()
+	best, name := 0.0, ""
+	for _, l := range n.links {
+		if u := l.Utilization(now); u > best {
+			best, name = u, l.Name
+		}
+	}
+	return best, name
+}

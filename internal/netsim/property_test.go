@@ -1,0 +1,97 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"spiderfs/internal/rng"
+	"spiderfs/internal/sim"
+)
+
+// Property: total bytes delivered equals the sum of flow sizes,
+// regardless of arrival times, sizes, and topology (conservation).
+func TestFlowConservationProperty(t *testing.T) {
+	f := func(seed uint64, sizesRaw [6]uint32, startsRaw [6]uint16) bool {
+		eng := sim.NewEngine()
+		n := NewNetwork(eng)
+		src := rng.New(seed)
+		links := []*Link{
+			n.NewLink("a", 1e9, 0),
+			n.NewLink("b", 2e9, 0),
+			n.NewLink("c", 0.5e9, 0),
+		}
+		var want float64
+		for i := range sizesRaw {
+			size := float64(sizesRaw[i]%1000000) + 1
+			want += size
+			// Random 1-3 link path.
+			var path []*Link
+			for j := 0; j <= src.Intn(3); j++ {
+				path = append(path, links[src.Intn(3)])
+			}
+			at := sim.Time(startsRaw[i]) * sim.Millisecond
+			eng.At(at, func() { n.StartFlow(path, size, nil) })
+		}
+		eng.Run()
+		return n.FlowsCompleted == 6 && math.Abs(n.BytesDelivered-want) < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a link never carries more than capacity x elapsed bytes.
+func TestLinkCapacityRespectedProperty(t *testing.T) {
+	f := func(seed uint64, kRaw uint8) bool {
+		eng := sim.NewEngine()
+		n := NewNetwork(eng)
+		src := rng.New(seed)
+		l := n.NewLink("l", 1e9, 0)
+		k := int(kRaw%20) + 1
+		for i := 0; i < k; i++ {
+			at := sim.Time(src.Intn(100)) * sim.Millisecond
+			size := float64(src.Intn(1e8) + 1e6)
+			eng.At(at, func() { n.StartFlow([]*Link{l}, size, nil) })
+		}
+		eng.Run()
+		elapsed := eng.Now().Seconds()
+		return l.BytesCarried <= 1e9*elapsed*1.000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: identical seeds give bit-identical outcomes (end time and
+// delivered bytes) — the determinism the test suite rests on.
+func TestNetworkDeterminismProperty(t *testing.T) {
+	run := func(seed uint64) (sim.Time, float64) {
+		eng := sim.NewEngine()
+		n := NewNetwork(eng)
+		src := rng.New(seed)
+		links := make([]*Link, 5)
+		for i := range links {
+			links[i] = n.NewLink("l", float64(1+i)*1e8, 0)
+		}
+		for i := 0; i < 30; i++ {
+			path := []*Link{links[src.Intn(5)], links[src.Intn(5)]}
+			if path[0] == path[1] {
+				path = path[:1]
+			}
+			at := sim.Time(src.Intn(1000)) * sim.Millisecond
+			size := float64(src.Intn(1e8) + 1)
+			eng.At(at, func() { n.StartFlow(path, size, nil) })
+		}
+		eng.Run()
+		return eng.Now(), n.BytesDelivered
+	}
+	f := func(seed uint64) bool {
+		t1, b1 := run(seed)
+		t2, b2 := run(seed)
+		return t1 == t2 && b1 == b2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+package netsim
+
+import (
+	"spiderfs/internal/rng"
+	"spiderfs/internal/sim"
+	"spiderfs/internal/topology"
+)
+
+// Router failure handling and asymmetric router notification (ARN).
+// §IV-D: OLCF direct-funded "asymmetric router notification" so that
+// when an LNET router dies, peers learn about it immediately instead of
+// timing out against it. Without ARN, a sender that selects a dead
+// router stalls for the LNET transmit timeout before retrying on
+// another route.
+
+// RouterTimeout is the stall a sender pays when it picks a dead router
+// without having been notified (LNET transmit/resend timeouts of the
+// era).
+const RouterTimeout = 50 * sim.Second
+
+// FailRouter marks a router dead. Whether senders avoid it immediately
+// depends on NotifyFailures.
+func (f *Fabric) FailRouter(rid int) {
+	if f.failedRouters == nil {
+		f.failedRouters = map[int]bool{}
+	}
+	f.failedRouters[rid] = true
+}
+
+// RecoverRouter returns a router to service.
+func (f *Fabric) RecoverRouter(rid int) { delete(f.failedRouters, rid) }
+
+// SetNotification enables asymmetric router notification: senders learn
+// about dead routers immediately and route around them.
+func (f *Fabric) SetNotification(on bool) { f.arn = on }
+
+// RouterFailed reports whether rid is currently dead.
+func (f *Fabric) RouterFailed(rid int) bool { return f.failedRouters[rid] }
+
+// selectRouter picks the router for (client, destination) under the
+// given mode, excluding any router in skip. It returns -1 when no
+// eligible router remains.
+func (f *Fabric) selectRouter(c topology.Coord, destLeaf int, mode RouteMode, src *rng.Source, skip map[int]bool) int {
+	eligible := func(rid int) bool {
+		if skip[rid] {
+			return false
+		}
+		// With ARN, failures are public knowledge.
+		if f.arn && f.failedRouters[rid] {
+			return false
+		}
+		return true
+	}
+	switch mode {
+	case RouteFGR:
+		group := destLeaf / topology.SwitchesPerGroup
+		mods := f.groupMods[group]
+		// Nearest module whose router for this leaf is eligible.
+		best, bestD := -1, 0
+		for _, m := range mods {
+			rid := m.RouterIDs[destLeaf%topology.SwitchesPerGroup]
+			if !eligible(rid) {
+				continue
+			}
+			d := f.Placement.Torus.Distance(c, m.Coord)
+			if best < 0 || d < bestD {
+				best, bestD = rid, d
+			}
+		}
+		return best
+	case RouteNaive:
+		for tries := 0; tries < 4*f.NumRouters(); tries++ {
+			rid := src.Intn(f.NumRouters())
+			if eligible(rid) {
+				return rid
+			}
+		}
+		return -1
+	default:
+		panic("netsim: unknown route mode")
+	}
+}
+
+// pathVia builds the full client->OSS link path through router rid.
+func (f *Fabric) pathVia(c topology.Coord, oss, rid int) []*Link {
+	destLeaf := f.ossLeaf[oss]
+	mod := f.Placement.Modules[rid/4]
+	path := []*Link{f.inject[f.Cfg.Torus.Index(c)]}
+	path = append(path, f.geminiPath(c, mod.Coord)...)
+	path = append(path, f.routerFwd[rid], f.routerUp[rid])
+	if sw := f.routerSwitch(rid); sw != destLeaf {
+		path = append(path, f.coreUp[sw], f.coreDown[destLeaf])
+	}
+	return append(path, f.ossPort[oss])
+}
+
+// StartClientFlow launches a transfer from a client to an OSS with
+// router-failure semantics: if the chosen router is dead and the sender
+// was not notified (no ARN), the flow stalls for RouterTimeout, the
+// sender blacklists that router, and retries on another. Counters
+// record the stalls so the ARN ablation can quantify the feature.
+func (f *Fabric) StartClientFlow(c topology.Coord, oss int, mode RouteMode, bytes float64, src *rng.Source, done func()) {
+	eng := f.engine()
+	skip := map[int]bool{}
+	var attempt func()
+	attempt = func() {
+		rid := f.selectRouter(c, f.ossLeaf[oss], mode, src, skip)
+		if rid < 0 {
+			panic("netsim: no eligible router remains")
+		}
+		if f.failedRouters[rid] {
+			// Dead router selected: without ARN the sender discovers it
+			// the hard way.
+			f.StalledSends++
+			f.StallTime += RouterTimeout
+			skip[rid] = true
+			eng.After(RouterTimeout, attempt)
+			return
+		}
+		f.Net.StartFlow(f.pathVia(c, oss, rid), bytes, done)
+	}
+	attempt()
+}
+
+func (f *Fabric) engine() *sim.Engine { return f.eng }

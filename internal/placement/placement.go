@@ -1,0 +1,162 @@
+// Package placement implements the balanced data placement runtime the
+// paper calls libPIO (§VI-A): a thin library that observes live load on
+// storage components (OSS queues, controller queues and cache pressure,
+// OST fill) and steers new files onto the least-contended OSTs. The
+// paper reports >70% per-job gains for synthetic workloads under
+// contention and ~24% for S3D in a noisy production environment after a
+// ~30-line integration.
+package placement
+
+import (
+	"sort"
+
+	"spiderfs/internal/lustre"
+)
+
+// Weights tune the composite load score. Zero values fall back to
+// DefaultWeights.
+type Weights struct {
+	OSSQueue  float64 // per queued RPC at the serving OSS
+	CtrlQueue float64 // per queued request at the SSU controller
+	CacheDirt float64 // per unit of controller cache fill fraction
+	Fill      float64 // per unit of OST fill fraction
+}
+
+// DefaultWeights balances transient congestion (queues) against
+// structural pressure (cache, fill).
+func DefaultWeights() Weights {
+	return Weights{OSSQueue: 1.0, CtrlQueue: 1.0, CacheDirt: 4.0, Fill: 2.0}
+}
+
+// Balancer suggests OST sets for new files.
+type Balancer struct {
+	fs *lustre.FS
+	w  Weights
+	// rr breaks score ties fairly so equally idle OSTs rotate.
+	rr int
+}
+
+// New builds a balancer over a namespace.
+func New(fs *lustre.FS, w Weights) *Balancer {
+	if w == (Weights{}) {
+		w = DefaultWeights()
+	}
+	return &Balancer{fs: fs, w: w}
+}
+
+// Score returns the current load score of one OST; lower is better.
+func (b *Balancer) Score(ost int) float64 {
+	o := b.fs.OSTs[ost]
+	oss := b.fs.OSSes[b.fs.OSSOf(ost)]
+	ctrl := o.Controller()
+	dirtFrac := float64(ctrl.Dirty()) / float64(ctrl.Config().CacheBytes)
+	return b.w.OSSQueue*float64(oss.QueueLen()) +
+		b.w.CtrlQueue*float64(ctrl.QueueLen()) +
+		b.w.CacheDirt*dirtFrac +
+		b.w.Fill*o.Fill()
+}
+
+// Suggest returns stripeCount OST indices, least-loaded first, spreading
+// the selection across distinct OSSes and controllers where the scores
+// allow it.
+func (b *Balancer) Suggest(stripeCount int) []int {
+	n := len(b.fs.OSTs)
+	if stripeCount < 1 {
+		stripeCount = 1
+	}
+	if stripeCount > n {
+		stripeCount = n
+	}
+	type cand struct {
+		ost   int
+		score float64
+	}
+	cands := make([]cand, n)
+	for i := 0; i < n; i++ {
+		// Rotate the index origin so ties break differently every call.
+		ost := (i + b.rr) % n
+		cands[i] = cand{ost: ost, score: b.Score(ost)}
+	}
+	b.rr = (b.rr + 1) % n
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].score < cands[j].score })
+
+	picked := make([]int, 0, stripeCount)
+	usedOSS := map[int]int{}
+	usedCtrl := map[*lustre.Controller]int{}
+	// First pass: prefer unique OSS and controller, but never trade a
+	// lightly loaded OST for a heavily loaded one just for diversity —
+	// only candidates near the k-th best score qualify.
+	threshold := cands[stripeCount-1].score + 1.0
+	for _, c := range cands {
+		if len(picked) == stripeCount {
+			break
+		}
+		if c.score > threshold {
+			break // sorted: everything after is worse
+		}
+		ossID := b.fs.OSSOf(c.ost)
+		ctrl := b.fs.OSTs[c.ost].Controller()
+		if usedOSS[ossID] > 0 || usedCtrl[ctrl] > 1 {
+			continue
+		}
+		picked = append(picked, c.ost)
+		usedOSS[ossID]++
+		usedCtrl[ctrl]++
+	}
+	// Second pass: fill remaining slots by pure score.
+	if len(picked) < stripeCount {
+		chosen := map[int]bool{}
+		for _, p := range picked {
+			chosen[p] = true
+		}
+		for _, c := range cands {
+			if len(picked) == stripeCount {
+				break
+			}
+			if !chosen[c.ost] {
+				picked = append(picked, c.ost)
+				chosen[c.ost] = true
+			}
+		}
+	}
+	return picked
+}
+
+// CreateBalanced creates a file placed by the balancer — the whole
+// libPIO client API surface (the "30 lines" integration is swapping
+// fs.Create for this call).
+func (b *Balancer) CreateBalanced(path string, stripeCount int, done func(*lustre.File)) {
+	b.fs.CreateOn(path, b.Suggest(stripeCount), done)
+}
+
+// LoadSnapshot reports the per-OST score vector (diagnostics and tests).
+func (b *Balancer) LoadSnapshot() []float64 {
+	out := make([]float64, len(b.fs.OSTs))
+	for i := range out {
+		out[i] = b.Score(i)
+	}
+	return out
+}
+
+// Imbalance returns (max-min)/mean of the snapshot — the load-imbalance
+// metric libPIO aims to reduce. Returns 0 for an idle system.
+func Imbalance(scores []float64) float64 {
+	if len(scores) == 0 {
+		return 0
+	}
+	min, max, sum := scores[0], scores[0], 0.0
+	for _, s := range scores {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+		sum += s
+	}
+	mean := sum / float64(len(scores))
+	if mean == 0 {
+		return 0
+	}
+	return (max - min) / mean
+}

@@ -1,0 +1,151 @@
+package qa
+
+import (
+	"fmt"
+	"strings"
+
+	"spiderfs/internal/disk"
+	"spiderfs/internal/lustre"
+	"spiderfs/internal/raid"
+	"spiderfs/internal/rng"
+	"spiderfs/internal/sim"
+	"spiderfs/internal/topology"
+	"spiderfs/internal/workload"
+)
+
+// Layer profiling implements the paper's end-to-end tuning methodology
+// (Lesson 12): benchmark every layer of the I/O path from the bottom
+// up, establish the expected performance of the next layer from the
+// measured one below it, and quantify the loss at each transition.
+
+// LayerReport is one rung of the ladder.
+type LayerReport struct {
+	Layer        string
+	ExpectedMBps float64 // derived from the layer below
+	MeasuredMBps float64
+	// Efficiency = measured/expected; the "lost performance in
+	// traversing from one layer to the next".
+	Efficiency float64
+}
+
+// ProfileLayers measures the sequential-write ladder of one OST column
+// of the given namespace parameters: raw disk, RAID-6 group, OST stack
+// (controller + journal + RAID), and the client file system path.
+func ProfileLayers(p lustre.Params, seed uint64) []LayerReport {
+	var out []LayerReport
+
+	// Layer 1: one raw disk, streaming 1 MiB writes.
+	eng := sim.NewEngine()
+	src := rng.New(seed)
+	d := disk.New(eng, 0, p.DiskCfg, disk.Nominal(), src.Split("d"))
+	diskRes := workload.RunFairLIODisk(eng, d, workload.FairLIOConfig{
+		RequestSize: 1 << 20, QueueDepth: 4, WriteFrac: 1, Duration: 2 * sim.Second,
+	}, src.Split("io"))
+	out = append(out, LayerReport{
+		Layer:        "disk (raw, seq 1MiB)",
+		ExpectedMBps: p.DiskCfg.PeakMBps,
+		MeasuredMBps: diskRes.MBps,
+		Efficiency:   diskRes.MBps / p.DiskCfg.PeakMBps,
+	})
+
+	// Layer 2: one RAID-6 group. Expected: data disks x measured disk
+	// rate (parity writes overlap the data writes on separate spindles).
+	eng2 := sim.NewEngine()
+	src2 := rng.New(seed + 1)
+	groups := buildLayerGroups(eng2, p, src2)
+	groupRes := workload.RunFairLIOGroup(eng2, groups[0], workload.FairLIOConfig{
+		RequestSize: 1 << 20, QueueDepth: 8, WriteFrac: 1, Duration: 2 * sim.Second,
+	}, src2.Split("io"))
+	expGroup := float64(p.GroupCfg.DataDisks) * diskRes.MBps
+	out = append(out, LayerReport{
+		Layer:        "raid6 8+2 group (LUN)",
+		ExpectedMBps: expGroup,
+		MeasuredMBps: groupRes.MBps,
+		Efficiency:   groupRes.MBps / expGroup,
+	})
+
+	// Layer 3: the OST stack — controller share + journal + RAID,
+	// write-through semantics. Expected: min(group rate, the
+	// controller's fair share per OST).
+	eng3 := sim.NewEngine()
+	fs3 := lustre.Build(eng3, p, rng.New(seed+2))
+	var file3 *lustre.File
+	fs3.CreateOn("layer/ost", []int{0}, func(f *lustre.File) { file3 = f })
+	eng3.Run()
+	ctrlShare := p.CtrlCfg.Bps / float64(p.OSTsPerSSU) / 1e6
+	ostRate := measureObjectSync(eng3, file3.Objects[0], 256<<20)
+	expOST := groupRes.MBps
+	if ctrlShare < expOST {
+		expOST = ctrlShare
+	}
+	out = append(out, LayerReport{
+		Layer:        "OST stack (ctrl+journal+raid)",
+		ExpectedMBps: expOST,
+		MeasuredMBps: ostRate,
+		Efficiency:   ostRate / expOST,
+	})
+
+	// Layer 4: the client path (OSS software, write-back pipeline) onto
+	// one OST. Expected: the layer-capacity bound (group rate capped by
+	// the controller share); write-back pipelining can beat the
+	// synchronous OST measurement but not the hardware underneath.
+	eng4 := sim.NewEngine()
+	fs4 := lustre.Build(eng4, p, rng.New(seed+3))
+	client := lustre.NewClient(0, topology.Coord{}, fs4, lustre.NullTransport{Eng: eng4})
+	var file4 *lustre.File
+	fs4.CreateOn("layer/client", []int{0}, func(f *lustre.File) { file4 = f })
+	eng4.Run()
+	start := eng4.Now()
+	total := int64(256 << 20)
+	client.WriteStream(file4, total, 1<<20, nil)
+	eng4.Run() // to drain: sustained client-visible rate
+	clientRate := float64(total) / (eng4.Now() - start).Seconds() / 1e6
+	out = append(out, LayerReport{
+		Layer:        "client FS path (1 stripe)",
+		ExpectedMBps: expOST,
+		MeasuredMBps: clientRate,
+		Efficiency:   clientRate / expOST,
+	})
+	return out
+}
+
+func buildLayerGroups(eng *sim.Engine, p lustre.Params, src *rng.Source) []*raid.Group {
+	fs := lustre.Build(eng, p, src)
+	out := make([]*raid.Group, len(fs.OSTs))
+	for i, o := range fs.OSTs {
+		out[i] = o.Group()
+	}
+	return out
+}
+
+// measureObjectSync drives synchronous object writes to completion.
+func measureObjectSync(eng *sim.Engine, obj *lustre.Object, total int64) float64 {
+	start := eng.Now()
+	var moved int64
+	outstanding := 0
+	var issue func()
+	issue = func() {
+		for outstanding < 8 && moved+int64(outstanding)*(1<<20) < total {
+			outstanding++
+			obj.WriteSync(1<<20, false, func() {
+				outstanding--
+				moved += 1 << 20
+				issue()
+			})
+		}
+	}
+	issue()
+	eng.Run()
+	return float64(moved) / (eng.Now() - start).Seconds() / 1e6
+}
+
+// RenderLayers prints the ladder as the tuning teams read it.
+func RenderLayers(reports []LayerReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-32s %12s %12s %10s\n", "layer", "expected", "measured", "efficiency")
+	for _, r := range reports {
+		fmt.Fprintf(&b, "%-32s %10.1f MB/s %8.1f MB/s %9.0f%%\n",
+			r.Layer, r.ExpectedMBps, r.MeasuredMBps, r.Efficiency*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,46 @@
+package qa
+
+import (
+	"strings"
+	"testing"
+
+	"spiderfs/internal/lustre"
+)
+
+func TestProfileLayersLadder(t *testing.T) {
+	p := lustre.TestNamespace()
+	reports := ProfileLayers(p, 1)
+	if len(reports) != 4 {
+		t.Fatalf("layers = %d, want 4", len(reports))
+	}
+	names := []string{"disk", "raid6", "OST stack", "client"}
+	for i, r := range reports {
+		if !strings.Contains(r.Layer, strings.Split(names[i], " ")[0]) {
+			t.Fatalf("layer %d = %q, want ~%q", i, r.Layer, names[i])
+		}
+		if r.MeasuredMBps <= 0 || r.ExpectedMBps <= 0 {
+			t.Fatalf("layer %q has zero rates: %+v", r.Layer, r)
+		}
+		// Each layer should achieve a sane fraction of its expectation —
+		// losses exist (that's the lesson) but not collapses, and a
+		// layer cannot beat its expectation by much.
+		if r.Efficiency < 0.3 || r.Efficiency > 1.25 {
+			t.Fatalf("layer %q efficiency %.2f out of range: %+v", r.Layer, r.Efficiency, r)
+		}
+	}
+	// The ladder's invariant: the raw disk is the fastest per-device
+	// layer; the full stack measures below data-disks x disk rate.
+	disk := reports[0].MeasuredMBps
+	group := reports[1].MeasuredMBps
+	if group > 8*disk {
+		t.Fatalf("group (%f) exceeds 8x disk (%f)", group, disk)
+	}
+}
+
+func TestRenderLayers(t *testing.T) {
+	reports := []LayerReport{{Layer: "disk", ExpectedMBps: 140, MeasuredMBps: 133, Efficiency: 0.95}}
+	out := RenderLayers(reports)
+	if !strings.Contains(out, "disk") || !strings.Contains(out, "95%") {
+		t.Fatalf("render: %q", out)
+	}
+}

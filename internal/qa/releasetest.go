@@ -1,0 +1,58 @@
+package qa
+
+import (
+	"math"
+
+	"spiderfs/internal/rng"
+)
+
+// Release testing at scale (Lesson 9): OLCF allocates Titan and Spider
+// for full-scale tests of candidate Lustre releases because "these
+// tests identify edge cases and problems that would not manifest
+// themselves otherwise". The model: a release carries latent defects,
+// each with a tiny per-client-hour trigger probability; the chance a
+// test campaign exposes a defect grows with scale, so a production-size
+// test finds what a testbed cannot.
+
+// Defect is one latent bug in a candidate release.
+type Defect struct {
+	Name string
+	// TriggerProb is the chance one client-hour of testing trips it.
+	TriggerProb float64
+}
+
+// Release is a candidate software version.
+type Release struct {
+	Version string
+	Defects []Defect
+}
+
+// ExposureProbability returns the analytic chance that a test at the
+// given scale exposes the defect: 1 - (1-p)^(clients*hours).
+func ExposureProbability(d Defect, clients int, hours float64) float64 {
+	exposure := float64(clients) * hours
+	return 1 - math.Pow(1-d.TriggerProb, exposure)
+}
+
+// TestCampaign runs a simulated test of the release at the given scale
+// and returns the defects it exposed.
+func TestCampaign(r Release, clients int, hours float64, src *rng.Source) []Defect {
+	var found []Defect
+	for _, d := range r.Defects {
+		if src.Bool(ExposureProbability(d, clients, hours)) {
+			found = append(found, d)
+		}
+	}
+	return found
+}
+
+// EscapeRisk returns the probability that at least one defect survives
+// the campaign and escapes to production — the number Lesson 9's
+// practice drives toward zero by testing at Titan scale.
+func EscapeRisk(r Release, clients int, hours float64) float64 {
+	pAllFound := 1.0
+	for _, d := range r.Defects {
+		pAllFound *= ExposureProbability(d, clients, hours)
+	}
+	return 1 - pAllFound
+}

@@ -1,0 +1,78 @@
+package qa
+
+import (
+	"math"
+	"testing"
+
+	"spiderfs/internal/rng"
+)
+
+func candidate() Release {
+	return Release{
+		Version: "lustre-2.x-rc",
+		Defects: []Defect{
+			{Name: "ldlm-race", TriggerProb: 1e-5},
+			{Name: "lnet-credit-leak", TriggerProb: 3e-6},
+			{Name: "recovery-hang", TriggerProb: 1e-6},
+		},
+	}
+}
+
+func TestExposureProbabilityMonotoneInScale(t *testing.T) {
+	d := Defect{TriggerProb: 1e-5}
+	small := ExposureProbability(d, 128, 8)   // a testbed
+	large := ExposureProbability(d, 18688, 8) // Titan
+	if small >= large {
+		t.Fatalf("scale must increase exposure: %f vs %f", small, large)
+	}
+	// At Titan scale an 1e-5 defect is near-certain to trip in a shift.
+	if large < 0.7 {
+		t.Fatalf("Titan-scale exposure = %f, want high", large)
+	}
+	if small > 0.05 {
+		t.Fatalf("testbed exposure = %f, want low (the Lesson 9 point)", small)
+	}
+}
+
+func TestEscapeRiskDropsWithScale(t *testing.T) {
+	r := candidate()
+	// Same wall-clock shift on a testbed vs a multi-day full-scale
+	// campaign on Titan (what the OLCF actually ran before upgrades).
+	testbed := EscapeRisk(r, 128, 8)
+	titan := EscapeRisk(r, 18688, 72)
+	if titan >= testbed {
+		t.Fatalf("escape risk should drop with scale: %f vs %f", titan, testbed)
+	}
+	if testbed < 0.9 {
+		t.Fatalf("testbed escape risk = %f; the latent defects should escape a small test", testbed)
+	}
+	if titan > 0.5 {
+		t.Fatalf("titan escape risk = %f, want materially reduced", titan)
+	}
+}
+
+func TestTestCampaignFindsAtScale(t *testing.T) {
+	r := candidate()
+	src := rng.New(7)
+	// Average over trials: Titan-scale campaigns find more defects.
+	trials := 200
+	var smallFound, bigFound int
+	for i := 0; i < trials; i++ {
+		smallFound += len(TestCampaign(r, 128, 8, src.Split("s")))
+		bigFound += len(TestCampaign(r, 18688, 8, src.Split("b")))
+	}
+	if bigFound <= smallFound {
+		t.Fatalf("at-scale campaigns found %d vs testbed %d", bigFound, smallFound)
+	}
+}
+
+func TestExposureProbabilityBounds(t *testing.T) {
+	d := Defect{TriggerProb: 0}
+	if ExposureProbability(d, 10000, 100) != 0 {
+		t.Fatal("zero-probability defect cannot be exposed")
+	}
+	d = Defect{TriggerProb: 1}
+	if p := ExposureProbability(d, 1, 1); math.Abs(p-1) > 1e-12 {
+		t.Fatalf("certain defect exposure = %f", p)
+	}
+}

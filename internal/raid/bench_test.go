@@ -1,0 +1,69 @@
+package raid
+
+import (
+	"testing"
+
+	"spiderfs/internal/disk"
+	"spiderfs/internal/rng"
+	"spiderfs/internal/sim"
+)
+
+func benchGroup(b *testing.B) (*sim.Engine, *Group) {
+	b.Helper()
+	eng := sim.NewEngine()
+	src := rng.New(1)
+	cfg := Spider2Group()
+	members := make([]*disk.Disk, cfg.Width())
+	for i := range members {
+		members[i] = disk.New(eng, i, disk.NLSAS2TB(), disk.Nominal(), src.Split("d"))
+	}
+	return eng, NewGroup(eng, 0, cfg, members)
+}
+
+// BenchmarkFullStripeWrite measures the optimal path: 1 MiB aligned
+// writes fanned over 10 spindles.
+func BenchmarkFullStripeWrite(b *testing.B) {
+	eng, g := benchGroup(b)
+	b.ReportAllocs()
+	var off int64
+	for i := 0; i < b.N; i++ {
+		if off+1<<20 > g.Capacity() {
+			off = 0
+		}
+		g.Write(off, 1<<20, nil)
+		off += 1 << 20
+		if i%64 == 63 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}
+
+// BenchmarkPartialStripeRMW measures the penalized path: 4 KiB writes
+// paying read-modify-write.
+func BenchmarkPartialStripeRMW(b *testing.B) {
+	eng, g := benchGroup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Write(int64(i%1024)*(1<<20), 4096, nil)
+		if i%64 == 63 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}
+
+// BenchmarkDegradedRead measures reconstruction reads with one member
+// down.
+func BenchmarkDegradedRead(b *testing.B) {
+	eng, g := benchGroup(b)
+	g.FailDisk(3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Read(int64(i%1024)*(1<<20), 1<<20, nil)
+		if i%64 == 63 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}

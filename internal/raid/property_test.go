@@ -1,0 +1,152 @@
+package raid
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spiderfs/internal/disk"
+	"spiderfs/internal/rng"
+	"spiderfs/internal/sim"
+)
+
+// Property: forEachStripe decomposes any extent into per-stripe chunk
+// ranges that exactly tile the request — no gaps, no overlap, chunk
+// indices in range.
+func TestForEachStripeTilesExtent(t *testing.T) {
+	eng := sim.NewEngine()
+	src := rng.New(1)
+	cfg := Spider2Group()
+	dcfg := disk.NLSAS2TB()
+	dcfg.Capacity = 1 << 30
+	members := make([]*disk.Disk, cfg.Width())
+	for i := range members {
+		members[i] = disk.New(eng, i, dcfg, disk.Nominal(), src.Split("d"))
+	}
+	g := NewGroup(eng, 0, cfg, members)
+
+	f := func(offRaw, sizeRaw uint32) bool {
+		off := int64(offRaw) % (g.Capacity() - 1)
+		size := int64(sizeRaw)%(16<<20) + 1
+		if off+size > g.Capacity() {
+			size = g.Capacity() - off
+		}
+		sds := cfg.StripeDataSize()
+		var covered int64
+		prevStripe := int64(-1)
+		ok := true
+		g.forEachStripe(off, size, func(stripe, first, last int64) {
+			if stripe <= prevStripe {
+				ok = false // stripes must advance strictly
+			}
+			prevStripe = stripe
+			if first < 0 || last >= int64(cfg.DataDisks) || first > last {
+				ok = false
+			}
+			// Reconstruct the byte range this visit covers.
+			stripeStart := stripe * sds
+			lo := stripeStart + first*cfg.ChunkSize
+			hi := stripeStart + (last+1)*cfg.ChunkSize
+			if lo > off || hi < off+size {
+				// Partial chunks at the edges are fine; clamp.
+				if lo < off {
+					lo = off
+				}
+				if hi > off+size {
+					hi = off + size
+				}
+			}
+			if lo < off {
+				lo = off
+			}
+			if hi > off+size {
+				hi = off + size
+			}
+			covered += hi - lo
+		})
+		// The chunk ranges must cover at least the extent (they are
+		// chunk-granular, so clamped coverage equals the extent).
+		return ok && covered == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after any sequence of <=2 disk failures the group is usable
+// (reads/writes complete); a third fails it permanently.
+func TestFailureSequenceProperty(t *testing.T) {
+	f := func(seed uint64, order [3]uint8) bool {
+		eng := sim.NewEngine()
+		src := rng.New(seed)
+		cfg := Spider2Group()
+		dcfg := disk.NLSAS2TB()
+		dcfg.Capacity = 256 << 20
+		members := make([]*disk.Disk, cfg.Width())
+		for i := range members {
+			members[i] = disk.New(eng, i, dcfg, disk.Nominal(), src.Split("d"))
+		}
+		g := NewGroup(eng, 0, cfg, members)
+		// Fail three distinct members in the given order.
+		failed := map[int]bool{}
+		idx := 0
+		for _, o := range order {
+			m := int(o) % cfg.Width()
+			for failed[m] {
+				m = (m + 1) % cfg.Width()
+			}
+			failed[m] = true
+			st := g.FailDisk(m)
+			idx++
+			switch idx {
+			case 1, 2:
+				if st == Failed {
+					return false
+				}
+				done := false
+				g.Read(0, 1<<20, func() { done = true })
+				eng.Run()
+				if !done {
+					return false
+				}
+			case 3:
+				if st != Failed {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bytes written via Write equal the sum of request sizes
+// (accounting conservation).
+func TestWriteAccountingProperty(t *testing.T) {
+	f := func(seed uint64, sizes [8]uint16) bool {
+		eng := sim.NewEngine()
+		src := rng.New(seed)
+		cfg := Spider2Group()
+		dcfg := disk.NLSAS2TB()
+		dcfg.Capacity = 256 << 20
+		members := make([]*disk.Disk, cfg.Width())
+		for i := range members {
+			members[i] = disk.New(eng, i, dcfg, disk.Nominal(), src.Split("d"))
+		}
+		g := NewGroup(eng, 0, cfg, members)
+		var want int64
+		var off int64
+		for _, s := range sizes {
+			n := int64(s) + 1
+			g.Write(off, n, nil)
+			off += n
+			want += n
+		}
+		eng.Run()
+		return g.BytesWritten == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,241 @@
+// Package rng provides a deterministic, splittable pseudo-random source
+// and the probability distributions used across the Spider models.
+//
+// Every experiment in this repository derives all of its randomness from
+// a single seed through named Split calls, so runs are reproducible and
+// sub-models remain statistically independent of each other even when
+// the model structure changes.
+package rng
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// Source is an xoshiro256** generator. It is not safe for concurrent use;
+// split per-goroutine sources with Split.
+type Source struct {
+	s [4]uint64
+}
+
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a source seeded from seed via SplitMix64 state expansion.
+func New(seed uint64) *Source {
+	var src Source
+	x := seed
+	for i := range src.s {
+		src.s[i] = splitmix64(&x)
+	}
+	// xoshiro must not start in the all-zero state.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &src
+}
+
+// Split derives an independent source labeled by name. Splitting the same
+// parent with the same label always yields the same child stream.
+func (r *Source) Split(label string) *Source {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	return New(r.Uint64() ^ h.Sum64())
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Source) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n)) // negligible modulo bias for model use
+}
+
+// Int63n returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Source) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}
+
+// Bool returns true with probability p.
+func (r *Source) Bool(p float64) bool { return r.Float64() < p }
+
+// Exp returns an exponentially distributed value with the given rate
+// (mean 1/rate). It panics if rate <= 0.
+func (r *Source) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exp with non-positive rate")
+	}
+	return -math.Log(1-r.Float64()) / rate
+}
+
+// Pareto returns a Pareto(alpha, xm) value: P(X > x) = (xm/x)^alpha for
+// x >= xm. The paper's workload characterization found inter-arrival and
+// idle-time distributions with Pareto (long) tails. alpha and xm must be
+// positive.
+func (r *Source) Pareto(alpha, xm float64) float64 {
+	if alpha <= 0 || xm <= 0 {
+		panic("rng: Pareto with non-positive parameter")
+	}
+	return xm / math.Pow(1-r.Float64(), 1/alpha)
+}
+
+// BoundedPareto returns a Pareto(alpha) value truncated to [lo, hi] by
+// inverse-CDF sampling of the bounded Pareto distribution.
+func (r *Source) BoundedPareto(alpha, lo, hi float64) float64 {
+	if alpha <= 0 || lo <= 0 || hi <= lo {
+		panic("rng: BoundedPareto with invalid parameters")
+	}
+	u := r.Float64()
+	la := math.Pow(lo, alpha)
+	ha := math.Pow(hi, alpha)
+	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+}
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation (Box–Muller).
+func (r *Source) Normal(mean, stddev float64) float64 {
+	u1 := 1 - r.Float64() // avoid log(0)
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// TruncNormal returns a Normal(mean, stddev) value rejected into
+// [lo, hi]. It panics if the interval is empty.
+func (r *Source) TruncNormal(mean, stddev, lo, hi float64) float64 {
+	if hi <= lo {
+		panic("rng: TruncNormal with empty interval")
+	}
+	for i := 0; i < 1000; i++ {
+		v := r.Normal(mean, stddev)
+		if v >= lo && v <= hi {
+			return v
+		}
+	}
+	// Pathological parameters: fall back to uniform on the interval.
+	return lo + (hi-lo)*r.Float64()
+}
+
+// LogNormal returns exp(Normal(mu, sigma)).
+func (r *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// Weibull returns a Weibull(shape k, scale lambda) value.
+func (r *Source) Weibull(k, lambda float64) float64 {
+	if k <= 0 || lambda <= 0 {
+		panic("rng: Weibull with non-positive parameter")
+	}
+	return lambda * math.Pow(-math.Log(1-r.Float64()), 1/k)
+}
+
+// Poisson returns a Poisson(lambda) count using Knuth's method for small
+// lambda and a normal approximation above 500.
+func (r *Source) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 500 {
+		v := r.Normal(lambda, math.Sqrt(lambda))
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Zipf draws from a Zipf distribution over [1, n] with exponent s > 0
+// using inverse-CDF over precomputed weights held by the Zipfian helper;
+// for one-off draws use NewZipf.
+type Zipf struct {
+	cdf []float64
+	src *Source
+}
+
+// NewZipf builds a Zipf sampler over ranks 1..n with exponent s.
+func NewZipf(src *Source, n int, s float64) *Zipf {
+	if n <= 0 || s <= 0 {
+		panic("rng: NewZipf with invalid parameters")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), s)
+		cdf[i-1] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, src: src}
+}
+
+// Draw returns a rank in [1, n].
+func (z *Zipf) Draw() int {
+	u := z.src.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}

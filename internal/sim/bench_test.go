@@ -1,0 +1,46 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineEventThroughput measures raw event dispatch rate — the
+// budget every model layer spends from.
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(Time(i%1000), func() {})
+		if e.Pending() > 10000 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+// BenchmarkServerPipeline measures the FIFO server fast path.
+func BenchmarkServerPipeline(b *testing.B) {
+	e := NewEngine()
+	s := NewServer(e, "bench", 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Submit(Microsecond, nil)
+		if s.QueueLen() > 1000 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+// BenchmarkCancelChurn measures schedule+cancel cycles (the network
+// layer's completion-event rescheduling pattern).
+func BenchmarkCancelChurn(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev := e.After(Second, func() {})
+		ev.Cancel()
+		if e.Pending() > 10000 {
+			e.Run()
+		}
+	}
+	e.Run()
+}

@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. The zero Event is invalid; events are
+// created by Engine.At and Engine.After. An Event may be canceled before
+// it fires; cancellation is cheap (lazy deletion from the heap).
+type Event struct {
+	t        Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	fired    bool
+}
+
+// Time returns when the event is (or was) scheduled to fire.
+func (e *Event) Time() Time { return e.t }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op. Cancel reports whether the event was
+// still pending.
+func (e *Event) Cancel() bool {
+	if e == nil || e.fired || e.canceled {
+		return false
+	}
+	e.canceled = true
+	e.fn = nil
+	return true
+}
+
+// Pending reports whether the event is still waiting to fire.
+func (e *Event) Pending() bool { return e != nil && !e.fired && !e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation executive. Events scheduled for
+// the same instant fire in scheduling order (FIFO tie-break), which makes
+// runs deterministic.
+//
+// Engine is not safe for concurrent use; all model code must run on the
+// goroutine driving Run/Step.
+type Engine struct {
+	now     Time
+	seq     uint64
+	heap    eventHeap
+	fired   uint64
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still scheduled (including
+// canceled events not yet reaped).
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: it would silently reorder causality.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{t: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.heap, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time. Negative d is
+// treated as zero.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Stop makes the current Run/RunUntil return after the in-flight event
+// completes. Pending events remain scheduled.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single next event, advancing the clock to its
+// timestamp. It reports whether an event was executed (false when the
+// queue is empty).
+func (e *Engine) Step() bool {
+	for len(e.heap) > 0 {
+		ev := heap.Pop(&e.heap).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.t
+		ev.fired = true
+		fn := ev.fn
+		ev.fn = nil
+		e.fired++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock
+// to t (even if the queue drained earlier).
+func (e *Engine) RunUntil(t Time) {
+	e.stopped = false
+	for !e.stopped {
+		next := e.peek()
+		if next == nil || next.t > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor runs the simulation for a duration d of simulated time.
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+
+func (e *Engine) peek() *Event {
+	for len(e.heap) > 0 && e.heap[0].canceled {
+		heap.Pop(&e.heap)
+	}
+	if len(e.heap) == 0 {
+		return nil
+	}
+	return e.heap[0]
+}
+
+// NextEventTime returns the timestamp of the next pending event and true,
+// or zero and false if the queue is empty.
+func (e *Engine) NextEventTime() (Time, bool) {
+	ev := e.peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.t, true
+}

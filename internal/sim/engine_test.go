@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineTieBreakFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.At(10, func() {
+		fired = append(fired, e.Now())
+		e.After(5, func() { fired = append(fired, e.Now()) })
+		e.After(0, func() { fired = append(fired, e.Now()) })
+	})
+	e.Run()
+	if len(fired) != 3 || fired[0] != 10 || fired[1] != 10 || fired[2] != 15 {
+		t.Fatalf("fired = %v, want [10 10 15]", fired)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev := e.At(10, func() { ran = true })
+	if !ev.Pending() {
+		t.Fatal("event should be pending")
+	}
+	if !ev.Cancel() {
+		t.Fatal("first cancel should succeed")
+	}
+	if ev.Cancel() {
+		t.Fatal("second cancel should fail")
+	}
+	e.Run()
+	if ran {
+		t.Fatal("canceled event ran")
+	}
+}
+
+func TestEngineScheduleInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(12)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v events, want 2", fired)
+	}
+	if e.Now() != 12 {
+		t.Fatalf("clock = %v, want 12", e.Now())
+	}
+	e.RunFor(8)
+	if len(fired) != 4 || e.Now() != 20 {
+		t.Fatalf("after RunFor: fired=%v now=%v", fired, e.Now())
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := Time(1); i <= 10; i++ {
+		e.At(i, func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	e.Run() // resume
+	if count != 10 {
+		t.Fatalf("after resume count = %d, want 10", count)
+	}
+}
+
+func TestEngineNextEventTime(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.NextEventTime(); ok {
+		t.Fatal("empty engine should have no next event")
+	}
+	ev := e.At(42, func() {})
+	if tm, ok := e.NextEventTime(); !ok || tm != 42 {
+		t.Fatalf("next = %v,%v want 42,true", tm, ok)
+	}
+	ev.Cancel()
+	if _, ok := e.NextEventTime(); ok {
+		t.Fatal("canceled event should not be reported")
+	}
+}
+
+// Property: events fire in nondecreasing timestamp order regardless of
+// insertion order.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(stamps []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, s := range stamps {
+			at := Time(s)
+			e.At(at, func() { fired = append(fired, at) })
+		}
+		e.Run()
+		if len(fired) != len(stamps) {
+			return false
+		}
+		sorted := append([]Time(nil), fired...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i := range fired {
+			if fired[i] != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaved schedule/cancel keeps exactly the non-canceled
+// events firing.
+func TestEngineCancelProperty(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		e := NewEngine()
+		fired := map[int]bool{}
+		var evs []*Event
+		canceled := map[int]bool{}
+		n := 200
+		for i := 0; i < n; i++ {
+			i := i
+			evs = append(evs, e.At(Time(rnd.Intn(1000)), func() { fired[i] = true }))
+		}
+		for i := 0; i < n/3; i++ {
+			k := rnd.Intn(n)
+			if evs[k].Cancel() {
+				canceled[k] = true
+			}
+		}
+		e.Run()
+		for i := 0; i < n; i++ {
+			if canceled[i] && fired[i] {
+				t.Fatalf("canceled event %d fired", i)
+			}
+			if !canceled[i] && !fired[i] {
+				t.Fatalf("live event %d did not fire", i)
+			}
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.500us"},
+		{2 * Millisecond, "2.000ms"},
+		{3 * Second, "3.000s"},
+		{90 * Second, "1.50min"},
+		{3 * Hour, "3.00h"},
+		{-2 * Second, "-2.000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestFromSeconds(t *testing.T) {
+	if FromSeconds(1.5) != 1500*Millisecond {
+		t.Fatalf("FromSeconds(1.5) = %v", FromSeconds(1.5))
+	}
+	if FromSeconds(-3) != 0 {
+		t.Fatal("negative seconds should clamp to 0")
+	}
+}

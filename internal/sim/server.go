@@ -1,0 +1,120 @@
+package sim
+
+// Server models a FIFO queueing station with a fixed number of service
+// slots (e.g. a disk, a storage controller CPU, or a metadata server).
+// Jobs are served in submission order; each job occupies one slot for its
+// service time and then invokes its completion callback.
+//
+// The Server tracks utilization and queueing statistics so that model
+// layers can report busy time, queue depth, and wait times without extra
+// bookkeeping.
+type Server struct {
+	eng  *Engine
+	name string
+	// capacity is the number of jobs that can be in service at once.
+	capacity int
+
+	inService int
+	queue     []serverJob
+
+	// statistics
+	Completed   uint64
+	BusyTime    Time // slot-occupancy integrated over time (sum over slots)
+	WaitTime    Time // total time jobs spent queued before service
+	ServiceTime Time // total service time of completed jobs
+	MaxQueue    int
+
+	lastChange Time
+}
+
+type serverJob struct {
+	arrive  Time
+	service Time
+	done    func()
+}
+
+// NewServer creates a server with the given number of parallel service
+// slots attached to engine eng. capacity must be >= 1.
+func NewServer(eng *Engine, name string, capacity int) *Server {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Server{eng: eng, name: name, capacity: capacity}
+}
+
+// Name returns the server's diagnostic name.
+func (s *Server) Name() string { return s.name }
+
+// Capacity returns the number of parallel service slots.
+func (s *Server) Capacity() int { return s.capacity }
+
+// QueueLen returns the number of jobs waiting (not in service).
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// InService returns the number of jobs currently being served.
+func (s *Server) InService() int { return s.inService }
+
+// Submit enqueues a job with the given service time. done (may be nil) is
+// invoked when the job completes. Service times <= 0 are served as
+// zero-duration jobs (still pass through the queue discipline).
+func (s *Server) Submit(service Time, done func()) {
+	if service < 0 {
+		service = 0
+	}
+	s.accumulateBusy()
+	job := serverJob{arrive: s.eng.Now(), service: service, done: done}
+	if s.inService < s.capacity {
+		s.start(job)
+		return
+	}
+	s.queue = append(s.queue, job)
+	if len(s.queue) > s.MaxQueue {
+		s.MaxQueue = len(s.queue)
+	}
+}
+
+func (s *Server) start(job serverJob) {
+	s.inService++
+	s.WaitTime += s.eng.Now() - job.arrive
+	s.eng.After(job.service, func() {
+		s.accumulateBusy()
+		s.inService--
+		s.Completed++
+		s.ServiceTime += job.service
+		if len(s.queue) > 0 {
+			next := s.queue[0]
+			copy(s.queue, s.queue[1:])
+			s.queue = s.queue[:len(s.queue)-1]
+			s.start(next)
+		}
+		if job.done != nil {
+			job.done()
+		}
+	})
+}
+
+func (s *Server) accumulateBusy() {
+	now := s.eng.Now()
+	s.BusyTime += Time(int64(now-s.lastChange) * int64(s.inService))
+	s.lastChange = now
+}
+
+// Utilization returns the mean fraction of service slots busy over the
+// interval [0, now]. It is 0 when no time has elapsed.
+func (s *Server) Utilization() float64 {
+	s.accumulateBusy()
+	now := s.eng.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(s.BusyTime) / (float64(now) * float64(s.capacity))
+}
+
+// MeanWait returns the mean queueing delay of jobs that entered service.
+func (s *Server) MeanWait() Time {
+	served := s.Completed + uint64(s.inService)
+	if served == 0 {
+		return 0
+	}
+	return Time(uint64(s.WaitTime) / served)
+}

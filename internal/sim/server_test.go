@@ -1,0 +1,133 @@
+package sim
+
+import "testing"
+
+func TestServerFIFO(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, "disk", 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Submit(10, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("completion order %v not FIFO", order)
+		}
+	}
+	if e.Now() != 50 {
+		t.Fatalf("5 serialized jobs of 10 should end at 50, got %v", e.Now())
+	}
+	if s.Completed != 5 {
+		t.Fatalf("completed = %d", s.Completed)
+	}
+}
+
+func TestServerParallelSlots(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, "oss", 2)
+	done := 0
+	for i := 0; i < 4; i++ {
+		s.Submit(10, func() { done++ })
+	}
+	e.Run()
+	// 4 jobs, 2 slots, 10 each -> finishes at 20.
+	if e.Now() != 20 {
+		t.Fatalf("end time = %v, want 20", e.Now())
+	}
+	if done != 4 {
+		t.Fatalf("done = %d", done)
+	}
+}
+
+func TestServerUtilization(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, "u", 1)
+	s.Submit(10, nil)
+	e.RunUntil(20)
+	u := s.Utilization()
+	if u < 0.49 || u > 0.51 {
+		t.Fatalf("utilization = %f, want ~0.5", u)
+	}
+}
+
+func TestServerWaitAccounting(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, "w", 1)
+	s.Submit(10, nil) // waits 0
+	s.Submit(10, nil) // waits 10
+	s.Submit(10, nil) // waits 20
+	e.Run()
+	if s.WaitTime != 30 {
+		t.Fatalf("wait time = %v, want 30", s.WaitTime)
+	}
+	if s.MeanWait() != 10 {
+		t.Fatalf("mean wait = %v, want 10", s.MeanWait())
+	}
+	if s.MaxQueue != 2 {
+		t.Fatalf("max queue = %d, want 2", s.MaxQueue)
+	}
+}
+
+func TestServerZeroService(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, "z", 1)
+	ran := false
+	s.Submit(0, func() { ran = true })
+	s.Submit(-5, nil) // clamped to zero
+	e.Run()
+	if !ran || s.Completed != 2 {
+		t.Fatalf("ran=%v completed=%d", ran, s.Completed)
+	}
+}
+
+func TestServerMinCapacity(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, "c", 0)
+	if s.Capacity() != 1 {
+		t.Fatalf("capacity clamped to %d, want 1", s.Capacity())
+	}
+}
+
+func TestBarrierFanOut(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, "d", 4)
+	fired := false
+	var at Time
+	b := NewBarrier(func() { fired = true; at = e.Now() })
+	for i := 0; i < 4; i++ {
+		b.Add(1)
+		d := Time(10 * (i + 1))
+		s.Submit(d, b.Done)
+	}
+	b.Arm()
+	e.Run()
+	if !fired {
+		t.Fatal("barrier never fired")
+	}
+	if at != 40 {
+		t.Fatalf("barrier fired at %v, want 40 (slowest leg)", at)
+	}
+}
+
+func TestBarrierZeroJobs(t *testing.T) {
+	fired := false
+	b := NewBarrier(func() { fired = true })
+	b.Arm()
+	if !fired {
+		t.Fatal("zero-job barrier should fire on Arm")
+	}
+}
+
+func TestBarrierOverDonePanics(t *testing.T) {
+	b := NewBarrier(nil)
+	b.Add(1)
+	b.Done()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on extra Done")
+		}
+	}()
+	b.Done()
+}

@@ -1,0 +1,254 @@
+// Package stats provides the statistical primitives used by the Spider
+// workload characterization, performance QA, and experiment reporting:
+// streaming moments, histograms, percentiles, autocorrelation, Pareto
+// tail fitting, and performance binning.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary accumulates streaming count/mean/variance/min/max using
+// Welford's algorithm. The zero value is ready to use.
+type Summary struct {
+	N        uint64
+	Mean     float64
+	m2       float64
+	Min, Max float64
+	Sum      float64
+}
+
+// Add incorporates one observation.
+func (s *Summary) Add(x float64) {
+	s.N++
+	s.Sum += x
+	if s.N == 1 {
+		s.Min, s.Max = x, x
+	} else {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	delta := x - s.Mean
+	s.Mean += delta / float64(s.N)
+	s.m2 += delta * (x - s.Mean)
+}
+
+// Variance returns the sample (n-1) variance, or 0 for fewer than two
+// observations.
+func (s *Summary) Variance() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.N-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Variance()) }
+
+// CoV returns the coefficient of variation (stddev/mean), or 0 when the
+// mean is zero.
+func (s *Summary) CoV() float64 {
+	if s.Mean == 0 {
+		return 0
+	}
+	return s.Stddev() / math.Abs(s.Mean)
+}
+
+// Merge combines another summary into s (parallel Welford merge).
+func (s *Summary) Merge(o Summary) {
+	if o.N == 0 {
+		return
+	}
+	if s.N == 0 {
+		*s = o
+		return
+	}
+	n := s.N + o.N
+	delta := o.Mean - s.Mean
+	mean := s.Mean + delta*float64(o.N)/float64(n)
+	m2 := s.m2 + o.m2 + delta*delta*float64(s.N)*float64(o.N)/float64(n)
+	s.N, s.Mean, s.m2 = n, mean, m2
+	s.Sum += o.Sum
+	if o.Min < s.Min {
+		s.Min = o.Min
+	}
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) of values using linear
+// interpolation between order statistics. It sorts a copy; for repeated
+// queries over the same data use Quantiles. Returns NaN on empty input.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	v := append([]float64(nil), values...)
+	sort.Float64s(v)
+	return quantileSorted(v, p)
+}
+
+// Quantiles returns the quantiles at each p (each in [0,1]) with a single
+// sort of the input copy.
+func Quantiles(values []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(values) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	v := append([]float64(nil), values...)
+	sort.Float64s(v)
+	for i, p := range ps {
+		out[i] = quantileSorted(v, p)
+	}
+	return out
+}
+
+func quantileSorted(sorted []float64, p float64) float64 {
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Autocorrelation returns the lag-k sample autocorrelation of the series,
+// or 0 when it is undefined (short series or zero variance). The paper's
+// IOSI tool uses autocorrelation to find periodic I/O bursts.
+func Autocorrelation(series []float64, lag int) float64 {
+	n := len(series)
+	if lag <= 0 || lag >= n {
+		return 0
+	}
+	mean := 0.0
+	for _, v := range series {
+		mean += v
+	}
+	mean /= float64(n)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := series[i] - mean
+		den += d * d
+		if i+lag < n {
+			num += d * (series[i+lag] - mean)
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// DominantPeriod scans lags in [minLag, maxLag] and returns the lag with
+// the highest autocorrelation plus that correlation value. Returns (0, 0)
+// when no lag is admissible.
+func DominantPeriod(series []float64, minLag, maxLag int) (lag int, corr float64) {
+	if minLag < 1 {
+		minLag = 1
+	}
+	if maxLag >= len(series) {
+		maxLag = len(series) - 1
+	}
+	best, bestCorr := 0, math.Inf(-1)
+	for l := minLag; l <= maxLag; l++ {
+		c := Autocorrelation(series, l)
+		if c > bestCorr {
+			best, bestCorr = l, c
+		}
+	}
+	if best == 0 {
+		return 0, 0
+	}
+	return best, bestCorr
+}
+
+// ParetoFit holds maximum-likelihood Pareto tail parameters.
+type ParetoFit struct {
+	Alpha float64 // tail index
+	Xm    float64 // scale (minimum)
+	N     int     // samples used
+}
+
+// FitPareto fits a Pareto distribution by MLE to the samples at or above
+// xm. If xm <= 0 the sample minimum is used. Samples below xm are
+// discarded. Returns a zero fit when fewer than 2 samples qualify.
+func FitPareto(samples []float64, xm float64) ParetoFit {
+	if xm <= 0 {
+		// Auto-scale: the smallest strictly positive sample. Zero
+		// samples (e.g. simultaneous arrivals) are not usable as a
+		// Pareto scale and are excluded from the fit below anyway.
+		for _, v := range samples {
+			if v > 0 && (xm <= 0 || v < xm) {
+				xm = v
+			}
+		}
+	}
+	if xm <= 0 {
+		return ParetoFit{}
+	}
+	var sum float64
+	n := 0
+	for _, v := range samples {
+		if v >= xm && v > 0 {
+			sum += math.Log(v / xm)
+			n++
+		}
+	}
+	if n < 2 || sum <= 0 {
+		return ParetoFit{Xm: xm, N: n}
+	}
+	return ParetoFit{Alpha: float64(n) / sum, Xm: xm, N: n}
+}
+
+// LinearFit returns the least-squares slope and intercept of y against x.
+// It returns zeros when the fit is undefined.
+func LinearFit(x, y []float64) (slope, intercept float64) {
+	n := len(x)
+	if n != len(y) || n < 2 {
+		return 0, 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i := 0; i < n; i++ {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	den := float64(n)*sxx - sx*sx
+	if den == 0 {
+		return 0, 0
+	}
+	slope = (float64(n)*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / float64(n)
+	return slope, intercept
+}
+
+// CCDF returns the empirical complementary CDF of values evaluated at
+// each point in xs: the fraction of values strictly greater than x.
+func CCDF(values, xs []float64) []float64 {
+	v := append([]float64(nil), values...)
+	sort.Float64s(v)
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		idx := sort.SearchFloat64s(v, math.Nextafter(x, math.Inf(1)))
+		out[i] = float64(len(v)-idx) / float64(len(v))
+	}
+	return out
+}

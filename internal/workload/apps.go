@@ -1,0 +1,249 @@
+package workload
+
+import (
+	"fmt"
+
+	"spiderfs/internal/lustre"
+	"spiderfs/internal/rng"
+	"spiderfs/internal/sim"
+	"spiderfs/internal/stats"
+	"spiderfs/internal/topology"
+)
+
+// CheckpointConfig models a large-scale simulation's defensive I/O: all
+// ranks dump a fraction of node memory to file-per-process outputs, the
+// workload Spider II's 1 TB/s requirement was engineered for (75% of
+// Titan's 600 TB in 6 minutes).
+type CheckpointConfig struct {
+	Writers      int
+	BytesPerRank int64
+	TransferSize int64
+	StripeCount  int
+	Placer       Placer
+	Transport    lustre.Transport
+	Dir          string
+}
+
+// CheckpointResult reports one checkpoint.
+type CheckpointResult struct {
+	Duration     sim.Time
+	BytesMoved   int64
+	AggregateBps float64
+}
+
+// RunCheckpoint executes one checkpoint and returns its duration.
+func RunCheckpoint(fs *lustre.FS, cfg CheckpointConfig) CheckpointResult {
+	if cfg.TransferSize <= 0 {
+		cfg.TransferSize = 1 << 20
+	}
+	if cfg.StripeCount <= 0 {
+		cfg.StripeCount = 1
+	}
+	if cfg.Dir == "" {
+		cfg.Dir = "ckpt"
+	}
+	res := RunIOR(fs, IORConfig{
+		Clients:      cfg.Writers,
+		TransferSize: cfg.TransferSize,
+		BlockSize:    cfg.BytesPerRank,
+		StripeCount:  cfg.StripeCount,
+		Dir:          cfg.Dir,
+		Placer:       cfg.Placer,
+		Transport:    cfg.Transport,
+	})
+	return CheckpointResult{Duration: res.Duration, BytesMoved: res.BytesMoved, AggregateBps: res.AggregateBps}
+}
+
+// AnalyticsConfig models the read-heavy, latency-constrained
+// visualization/analysis workloads that share the data-centric file
+// system with checkpoints (§II).
+type AnalyticsConfig struct {
+	Readers     int
+	Requests    int // per reader
+	RequestSize int64
+	StripeCount int
+	Transport   lustre.Transport
+	Dir         string
+}
+
+// AnalyticsResult reports latency statistics (milliseconds).
+type AnalyticsResult struct {
+	Latency   stats.Summary
+	P95Millis float64
+	Duration  sim.Time
+}
+
+// RunAnalytics pre-creates one shared dataset per reader, then issues
+// random reads one at a time (latency-bound, not bandwidth-bound),
+// recording per-request latency.
+func RunAnalytics(fs *lustre.FS, cfg AnalyticsConfig) AnalyticsResult {
+	eng := fs.Engine()
+	if cfg.RequestSize <= 0 {
+		cfg.RequestSize = 64 << 10
+	}
+	if cfg.StripeCount <= 0 {
+		cfg.StripeCount = 1
+	}
+	if cfg.Transport == nil {
+		cfg.Transport = lustre.NullTransport{Eng: eng}
+	}
+	if cfg.Dir == "" {
+		cfg.Dir = "viz"
+	}
+	files := make([]*lustre.File, cfg.Readers)
+	clients := make([]*lustre.Client, cfg.Readers)
+	for i := 0; i < cfg.Readers; i++ {
+		i := i
+		clients[i] = lustre.NewClient(i, topology.Coord{}, fs, cfg.Transport)
+		fs.Create(fmt.Sprintf("%s/set%05d", cfg.Dir, i), cfg.StripeCount, func(f *lustre.File) { files[i] = f })
+	}
+	eng.Run()
+	for i, c := range clients {
+		c.WriteStream(files[i], 64<<20, 1<<20, nil)
+	}
+	eng.Run()
+
+	var res AnalyticsResult
+	var lats []float64
+	start := eng.Now()
+	for i := 0; i < cfg.Readers; i++ {
+		i := i
+		var next func(remaining int)
+		next = func(remaining int) {
+			if remaining == 0 {
+				return
+			}
+			t0 := eng.Now()
+			clients[i].ReadStream(files[i], cfg.RequestSize, cfg.RequestSize, true, func(int64) {
+				ms := (eng.Now() - t0).Millis()
+				res.Latency.Add(ms)
+				lats = append(lats, ms)
+				next(remaining - 1)
+			})
+		}
+		next(cfg.Requests)
+	}
+	eng.Run()
+	res.Duration = eng.Now() - start
+	res.P95Millis = stats.Percentile(lats, 0.95)
+	return res
+}
+
+// MixedConfig generates the center-wide mixed workload whose measured
+// characteristics §II reports: 60% write / 40% read requests, bimodal
+// sizes (small <=16 KiB metadata-ish I/O and large >=1 MiB streaming
+// multiples), and Pareto-tailed inter-arrival times.
+type MixedConfig struct {
+	Duration      sim.Time
+	MeanArrival   sim.Time // mean request inter-arrival
+	ParetoAlpha   float64  // tail index of the inter-arrival distribution
+	WriteFrac     float64  // 0.6 in the Spider I study
+	SmallFrac     float64  // fraction of requests that are small
+	SmallMax      int64    // 16 KiB
+	LargeUnit     int64    // 1 MiB; large requests are multiples of it
+	LargeMaxUnits int
+	Streams       int // concurrent independent request streams
+}
+
+// DefaultMixed returns the §II calibration.
+func DefaultMixed() MixedConfig {
+	return MixedConfig{
+		Duration:      30 * sim.Second,
+		MeanArrival:   2 * sim.Millisecond,
+		ParetoAlpha:   1.4,
+		WriteFrac:     0.60,
+		SmallFrac:     0.45,
+		SmallMax:      16 << 10,
+		LargeUnit:     1 << 20,
+		LargeMaxUnits: 8,
+		Streams:       8,
+	}
+}
+
+// MixedTrace records what the generator produced, for characterization.
+type MixedTrace struct {
+	Writes, Reads uint64
+	Sizes         []float64 // bytes
+	InterArrivals []float64 // seconds
+	BytesWritten  int64
+	BytesRead     int64
+}
+
+// WriteFraction returns the measured write fraction of requests.
+func (tr *MixedTrace) WriteFraction() float64 {
+	total := tr.Writes + tr.Reads
+	if total == 0 {
+		return 0
+	}
+	return float64(tr.Writes) / float64(total)
+}
+
+// RunMixed drives the mixed workload against fs and returns the trace.
+func RunMixed(fs *lustre.FS, cfg MixedConfig, src *rng.Source) *MixedTrace {
+	eng := fs.Engine()
+	tr := &MixedTrace{}
+	tr.Sizes = make([]float64, 0, 1024)
+	end := eng.Now() + cfg.Duration
+
+	// One shared file per stream.
+	files := make([]*lustre.File, cfg.Streams)
+	clients := make([]*lustre.Client, cfg.Streams)
+	for i := 0; i < cfg.Streams; i++ {
+		i := i
+		clients[i] = lustre.NewClient(i, topology.Coord{}, fs, lustre.NullTransport{Eng: eng})
+		fs.Create(fmt.Sprintf("mixed/stream%03d", i), 1, func(f *lustre.File) { files[i] = f })
+	}
+	eng.Run()
+	for i := range files {
+		clients[i].WriteStream(files[i], 8<<20, 1<<20, nil) // seed data for reads
+	}
+	eng.Run()
+
+	// The Pareto xm that yields the requested mean for tail alpha:
+	// mean = alpha*xm/(alpha-1)  =>  xm = mean*(alpha-1)/alpha.
+	xm := cfg.MeanArrival.Seconds() * (cfg.ParetoAlpha - 1) / cfg.ParetoAlpha
+
+	var last sim.Time = -1
+	var schedule func(stream int)
+	schedule = func(stream int) {
+		gap := sim.FromSeconds(src.Pareto(cfg.ParetoAlpha, xm))
+		eng.After(gap, func() {
+			if eng.Now() >= end {
+				return
+			}
+			if last >= 0 {
+				tr.InterArrivals = append(tr.InterArrivals, (eng.Now() - last).Seconds())
+			}
+			last = eng.Now()
+			var size int64
+			if src.Bool(cfg.SmallFrac) {
+				size = 512 + src.Int63n(cfg.SmallMax-512)
+			} else {
+				size = cfg.LargeUnit * int64(1+src.Intn(cfg.LargeMaxUnits))
+			}
+			tr.Sizes = append(tr.Sizes, float64(size))
+			if src.Bool(cfg.WriteFrac) {
+				tr.Writes++
+				tr.BytesWritten += size
+				clients[stream].WriteStream(files[stream], size, minI64(size, 1<<20), nil)
+			} else {
+				tr.Reads++
+				tr.BytesRead += size
+				clients[stream].ReadStream(files[stream], size, minI64(size, 1<<20), true, nil)
+			}
+			schedule(stream)
+		})
+	}
+	for i := 0; i < cfg.Streams; i++ {
+		schedule(i)
+	}
+	eng.Run()
+	return tr
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

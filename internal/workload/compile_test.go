@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"testing"
+
+	"spiderfs/internal/sim"
+)
+
+func TestRunCompileCompletes(t *testing.T) {
+	fs := mkTestFS(60)
+	var res CompileResult
+	RunCompile(fs, CompileConfig{SourceFiles: 100, StatsPerFile: 4, Parallelism: 8},
+		func(r CompileResult) { res = r })
+	fs.Engine().Run()
+	if res.Duration <= 0 {
+		t.Fatal("compile never finished")
+	}
+	// 100 files x (4 lookups + 1 create) = 500 metadata ops minimum.
+	if res.MDSOps < 500 {
+		t.Fatalf("MDS ops = %d, want >=500", res.MDSOps)
+	}
+	if fs.NumFiles < 100 {
+		t.Fatalf("object files = %d", fs.NumFiles)
+	}
+}
+
+// The §VII warning quantified: a compile on the scratch file system
+// inflates other users' metadata latency.
+func TestCompileDegradesOtherUsersMetadataLatency(t *testing.T) {
+	probe := func(withCompile bool) sim.Time {
+		fs := mkTestFS(61)
+		eng := fs.Engine()
+		if withCompile {
+			RunCompile(fs, CompileConfig{SourceFiles: 3000, StatsPerFile: 8, Parallelism: 32}, nil)
+		}
+		var mean sim.Time
+		MetadataLatencyProbe(fs, "user/data", 50, func(m sim.Time) { mean = m })
+		eng.Run()
+		return mean
+	}
+	quiet := probe(false)
+	busy := probe(true)
+	if quiet <= 0 || busy <= 0 {
+		t.Fatalf("probes: quiet=%v busy=%v", quiet, busy)
+	}
+	ratio := float64(busy) / float64(quiet)
+	if ratio < 3 {
+		t.Fatalf("compile inflated stat latency only %.1fx (%v -> %v); the MDS storm should hurt", ratio, quiet, busy)
+	}
+}
+
+func TestCompileInvalidPanics(t *testing.T) {
+	fs := mkTestFS(62)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	RunCompile(fs, CompileConfig{SourceFiles: 0}, nil)
+}

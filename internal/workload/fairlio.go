@@ -1,0 +1,216 @@
+package workload
+
+import (
+	"spiderfs/internal/disk"
+	"spiderfs/internal/raid"
+	"spiderfs/internal/rng"
+	"spiderfs/internal/sim"
+	"spiderfs/internal/stats"
+)
+
+// FairLIOConfig parameterizes the block-level benchmark OLCF developed
+// for the Spider II acquisition (§III-B): multiple in-flight requests
+// against raw block devices at specific locations, bypassing file system
+// caches, sweeping request size, queue depth, read/write mix, and
+// sequential/random mode.
+type FairLIOConfig struct {
+	RequestSize int64
+	QueueDepth  int
+	WriteFrac   float64 // 1.0 = pure write
+	Random      bool
+	// RandomSpan restricts random offsets to the first fraction of the
+	// device (0 or 1 = whole device). Used to compare against file
+	// systems whose data occupies only part of the platters.
+	RandomSpan float64
+	Duration   sim.Time
+}
+
+// FairLIOResult reports one benchmark cell.
+type FairLIOResult struct {
+	Cfg        FairLIOConfig
+	BytesMoved int64
+	Ops        uint64
+	Duration   sim.Time
+	MBps       float64 // decimal MB/s
+	IOPS       float64
+	LatencyMs  stats.Summary
+}
+
+// randomSpan bounds random offsets to frac of the addressable range.
+func randomSpan(max int64, frac float64) int64 {
+	if frac <= 0 || frac >= 1 {
+		return max
+	}
+	s := int64(frac * float64(max))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// RunFairLIODisk drives one raw disk for the configured duration.
+func RunFairLIODisk(eng *sim.Engine, d *disk.Disk, cfg FairLIOConfig, src *rng.Source) FairLIOResult {
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 1
+	}
+	res := FairLIOResult{Cfg: cfg}
+	start := eng.Now()
+	end := start + cfg.Duration
+	var seqPos int64
+	capacity := d.Config().Capacity
+	span := randomSpan(capacity-cfg.RequestSize, cfg.RandomSpan)
+
+	var issue func()
+	issue = func() {
+		if eng.Now() >= end {
+			return
+		}
+		op := disk.Op{Write: src.Bool(cfg.WriteFrac), Size: cfg.RequestSize}
+		if cfg.Random {
+			op.LBA = src.Int63n(span)
+		} else {
+			if seqPos+cfg.RequestSize > capacity {
+				seqPos = 0
+			}
+			op.LBA = seqPos
+			seqPos += cfg.RequestSize
+		}
+		t0 := eng.Now()
+		d.Submit(op, func() {
+			res.Ops++
+			res.BytesMoved += cfg.RequestSize
+			res.LatencyMs.Add((eng.Now() - t0).Millis())
+			issue()
+		})
+	}
+	for i := 0; i < cfg.QueueDepth; i++ {
+		issue()
+	}
+	eng.Run()
+	res.Duration = eng.Now() - start
+	if res.Duration > 0 {
+		sec := res.Duration.Seconds()
+		res.MBps = float64(res.BytesMoved) / 1e6 / sec
+		res.IOPS = float64(res.Ops) / sec
+	}
+	return res
+}
+
+// RunFairLIOGroup drives one RAID group (the unit OLCF benchmarked and
+// binned during slow-disk elimination). Offsets address the LUN.
+func RunFairLIOGroup(eng *sim.Engine, g *raid.Group, cfg FairLIOConfig, src *rng.Source) FairLIOResult {
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 1
+	}
+	res := FairLIOResult{Cfg: cfg}
+	start := eng.Now()
+	end := start + cfg.Duration
+	var seqPos int64
+	capacity := g.Capacity()
+	span := randomSpan(capacity-cfg.RequestSize, cfg.RandomSpan)
+
+	var issue func()
+	issue = func() {
+		if eng.Now() >= end {
+			return
+		}
+		var off int64
+		if cfg.Random {
+			off = src.Int63n(span)
+			// Align to the stripe for apples-to-apples random 1 MiB I/O.
+			off -= off % cfg.RequestSize
+		} else {
+			if seqPos+cfg.RequestSize > capacity {
+				seqPos = 0
+			}
+			off = seqPos
+			seqPos += cfg.RequestSize
+		}
+		t0 := eng.Now()
+		done := func() {
+			res.Ops++
+			res.BytesMoved += cfg.RequestSize
+			res.LatencyMs.Add((eng.Now() - t0).Millis())
+			issue()
+		}
+		if src.Bool(cfg.WriteFrac) {
+			g.Write(off, cfg.RequestSize, done)
+		} else {
+			g.Read(off, cfg.RequestSize, done)
+		}
+	}
+	for i := 0; i < cfg.QueueDepth; i++ {
+		issue()
+	}
+	eng.Run()
+	res.Duration = eng.Now() - start
+	if res.Duration > 0 {
+		sec := res.Duration.Seconds()
+		res.MBps = float64(res.BytesMoved) / 1e6 / sec
+		res.IOPS = float64(res.Ops) / sec
+	}
+	return res
+}
+
+// ObdSurveyResult mirrors obdfilter-survey: object write/rewrite/read
+// rates at the OST stack level (controller + RAID), excluding clients
+// and the network — the file-system-side half of the acquisition suite.
+type ObdSurveyResult struct {
+	WriteMBps   float64
+	RewriteMBps float64
+	ReadMBps    float64
+}
+
+// OSTDriver abstracts the piece of the OST stack obdfilter-survey
+// exercises; implemented by *lustre.Object-backed helpers in callers to
+// avoid an import cycle. Each call moves size bytes and invokes done.
+type OSTDriver interface {
+	Write(size int64, done func())
+	Read(size int64, random bool, done func())
+}
+
+// RunObdSurvey measures streaming write, rewrite, and read through an
+// OST driver with the given concurrency, moving total bytes per phase.
+func RunObdSurvey(eng *sim.Engine, drv OSTDriver, total, rpc int64, threads int) ObdSurveyResult {
+	if threads < 1 {
+		threads = 1
+	}
+	phase := func(write, random bool) float64 {
+		start := eng.Now()
+		var moved int64
+		var worker func(remaining int64)
+		worker = func(remaining int64) {
+			if remaining <= 0 {
+				return
+			}
+			n := rpc
+			if n > remaining {
+				n = remaining
+			}
+			done := func() {
+				moved += n
+				worker(remaining - n)
+			}
+			if write {
+				drv.Write(n, done)
+			} else {
+				drv.Read(n, random, done)
+			}
+		}
+		per := total / int64(threads)
+		for i := 0; i < threads; i++ {
+			worker(per)
+		}
+		eng.Run()
+		d := eng.Now() - start
+		if d <= 0 {
+			return 0
+		}
+		return float64(moved) / 1e6 / d.Seconds()
+	}
+	return ObdSurveyResult{
+		WriteMBps:   phase(true, false),
+		RewriteMBps: phase(true, false),
+		ReadMBps:    phase(false, false),
+	}
+}
