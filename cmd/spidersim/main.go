@@ -9,6 +9,7 @@
 //	spidersim purge       — the 14-day purge policy (E13)
 //	spidersim namespaces  — single vs multiple namespaces (E11)
 //	spidersim workflow    — data-centric vs machine-exclusive workflow (E6)
+//	spidersim chaos       — center-wide chaos campaign, featured vs ablated (E18)
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"os"
 
 	"spiderfs/internal/center"
+	"spiderfs/internal/chaos"
 	"spiderfs/internal/disk"
 	"spiderfs/internal/lustre"
 	"spiderfs/internal/procure"
@@ -39,6 +41,8 @@ func main() {
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	seed := fs.Uint64("seed", 42, "random seed")
+	days := fs.Int("days", 0, "chaos: override the campaign length in simulated days")
+	full := fs.Bool("full", false, "chaos: 7-day full-scale campaign instead of the 1-day small center")
 	_ = fs.Parse(os.Args[2:])
 
 	switch cmd {
@@ -62,6 +66,8 @@ func main() {
 		runFig4(*seed)
 	case "recovery":
 		runRecovery(*seed)
+	case "chaos":
+		runChaos(*seed, *days, *full)
 	case "arch":
 		c := center.New(center.Config{Scale: 1, Namespaces: 2, Seed: *seed})
 		fmt.Print(c.RenderArchitecture())
@@ -75,7 +81,41 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: spidersim <arch|layers|mixed|checkpoint|slowdisk|incident|purge|namespaces|workflow|fig3|fig4|recovery> [-seed N]")
+	fmt.Fprintln(os.Stderr, "usage: spidersim <arch|layers|mixed|checkpoint|slowdisk|incident|purge|namespaces|workflow|fig3|fig4|recovery|chaos> [-seed N] [-days N] [-full]")
+}
+
+func runChaos(seed uint64, days int, full bool) {
+	cfg := chaos.QuickConfig(seed)
+	if full {
+		cfg = chaos.DefaultConfig(seed)
+	}
+	if days > 0 {
+		cfg.Duration = sim.Time(days) * sim.Day
+	}
+	fmt.Println("center-wide chaos campaign: correlated faults vs the Sec. IV resilience features")
+	feat := chaos.Run(cfg)
+	fmt.Print(feat)
+	if len(feat.Timeline) > 0 {
+		fmt.Println("first faults on the timeline:")
+		for i, line := range feat.Timeline {
+			if i == 6 {
+				break
+			}
+			fmt.Printf("  %s\n", line)
+		}
+	}
+	fmt.Println()
+	abl := chaos.Run(cfg.Ablated())
+	fmt.Print(abl)
+	fmt.Println()
+	fmt.Printf("resilience delta under the identical fault schedule (seed %d):\n", seed)
+	fmt.Printf("  OST downtime:  %v ablated -> %v with imperative recovery + ARN\n",
+		abl.OSTDowntime, feat.OSTDowntime)
+	fmt.Printf("  availability:  %.5f -> %.5f\n", abl.Availability, feat.Availability)
+	fmt.Printf("  router stalls: %d sends (%v stalled) -> %d sends (%v)\n",
+		abl.StalledSends, abl.StallTime, feat.StalledSends, feat.StallTime)
+	fmt.Printf("  probe rate:    mean %.1f MB/s -> %.1f MB/s\n",
+		abl.MeanProbeMBps, feat.MeanProbeMBps)
 }
 
 func runFig3(seed uint64) {

@@ -2,12 +2,15 @@
 // monitoring stack (checks, controller pollers, event coalescing), a
 // background disk-failure process with automatic rebuilds, production
 // I/O, and the nightly purge — all on one engine, printing the
-// operational picture at the end.
+// operational picture at the end. A second act hands the center to the
+// chaos campaign engine for a day of correlated, cascading faults and
+// prints the availability ledger it leaves behind.
 package main
 
 import (
 	"fmt"
 
+	"spiderfs/internal/chaos"
 	"spiderfs/internal/failure"
 	"spiderfs/internal/lustre"
 	"spiderfs/internal/monitor"
@@ -99,6 +102,23 @@ func main() {
 	}
 	fmt.Printf("controller poller: %d samples, peak write rate %.1f MB/s\n",
 		poller.Samples, peak/1e6)
+
+	// Act two: a bad day. The chaos campaign engine drives a full day of
+	// correlated faults — disk failures during rebuilds, OSS crashes with
+	// imperative-recovery failover, router-death bursts absorbed by ARN,
+	// cable degradation, an MDS outage, an enclosure loss — against a
+	// fresh small center and reports the availability ledger.
+	fmt.Println()
+	fmt.Println("=== chaos campaign: one simulated day of correlated faults ===")
+	rep := chaos.Run(chaos.QuickConfig(2026))
+	fmt.Print(rep)
+	fmt.Println("timeline (first faults):")
+	for i, line := range rep.Timeline {
+		if i == 8 {
+			break
+		}
+		fmt.Printf("  %s\n", line)
+	}
 }
 
 func fsGroups(fs *lustre.FS) []*raid.Group {

@@ -11,6 +11,7 @@ import (
 
 	"spiderfs/internal/lustre"
 	"spiderfs/internal/netsim"
+	"spiderfs/internal/raid"
 	"spiderfs/internal/rng"
 	"spiderfs/internal/sim"
 	"spiderfs/internal/topology"
@@ -123,10 +124,13 @@ type fabricTransport struct {
 	src     *rng.Source
 }
 
-// Send implements lustre.Transport.
+// Send implements lustre.Transport. Sends go through the fabric's
+// router-failure path so that dead LNET routers stall (without ARN) or
+// are routed around (with ARN), and a send with no eligible router left
+// is recorded as a dropped flow instead of panicking — the semantics a
+// chaos campaign needs to keep running through correlated faults.
 func (t fabricTransport) Send(from topology.Coord, oss int, bytes int64, done func()) {
-	path := t.fabric.ClientPath(from, t.ossBase+oss, t.mode, t.src)
-	t.fabric.Net.StartFlow(path, float64(bytes), func() { done() })
+	t.fabric.StartClientFlow(from, t.ossBase+oss, t.mode, float64(bytes), t.src, done)
 }
 
 // Transport returns the transport clients of namespace ns should use.
@@ -135,6 +139,33 @@ func (c *Center) Transport(ns int) lustre.Transport {
 		return lustre.NullTransport{Eng: c.Eng}
 	}
 	return fabricTransport{fabric: c.Fabric, mode: c.Cfg.RouteMode, ossBase: c.ossBase[ns], src: c.Src.Split(fmt.Sprintf("tr-%d", ns))}
+}
+
+// GroupsOf returns namespace ns's RAID groups in OST order (fault
+// injection and chaos campaigns address storage hardware through this).
+func (c *Center) GroupsOf(ns int) []*raid.Group {
+	fs := c.Namespaces[ns]
+	out := make([]*raid.Group, 0, len(fs.OSTs))
+	for _, o := range fs.OSTs {
+		out = append(out, o.Group())
+	}
+	return out
+}
+
+// CoupletsOf wraps namespace ns's per-SSU RAID groups in controller
+// couplets under the given enclosure layout, so enclosure-level faults
+// can be injected against a built center. The couplets share the
+// namespace's live groups; they are constructed on demand because the
+// builder itself does not model enclosures.
+func (c *Center) CoupletsOf(ns int, layout raid.EnclosureLayout) []*raid.Couplet {
+	fs := c.Namespaces[ns]
+	groups := c.GroupsOf(ns)
+	perSSU := len(groups) / len(fs.Ctrls)
+	out := make([]*raid.Couplet, 0, len(fs.Ctrls))
+	for ssu := 0; ssu < len(fs.Ctrls); ssu++ {
+		out = append(out, raid.NewCouplet(c.Eng, ssu, layout, groups[ssu*perSSU:(ssu+1)*perSSU]))
+	}
+	return out
 }
 
 // RunIOR runs the IOR benchmark against namespace ns with the center's

@@ -37,6 +37,12 @@ type Injector struct {
 
 	// Events receives monitor events for every injected fault (optional).
 	Events func(monitor.Event)
+	// OnGroupFailed fires when an injected failure transitions a group
+	// to Failed (data loss) — the hook the chaos campaign uses to
+	// propagate the fault through the failure-domain graph.
+	OnGroupFailed func(*raid.Group)
+	// OnRebuildDone fires when a replacement drive finishes rebuilding.
+	OnRebuildDone func(*raid.Group)
 
 	Failures int
 	Rebuilds int
@@ -44,6 +50,7 @@ type Injector struct {
 	stopped  bool
 	pending  *sim.Event
 	replID   int
+	live     []*raid.Group // scratch for injectOne resampling
 }
 
 // NewInjector builds an idle injector; call Start.
@@ -95,10 +102,20 @@ func (in *Injector) schedule() {
 }
 
 func (in *Injector) injectOne() {
-	g := in.groups[in.src.Intn(len(in.groups))]
-	if g.State() == raid.Failed {
+	// Sample among live groups only: a draw landing on an already-Failed
+	// group must not silently waste the failure slot, or the delivered
+	// fleet AFR falls below the configured rate as groups die.
+	live := in.live[:0]
+	for _, g := range in.groups {
+		if g.State() != raid.Failed {
+			live = append(live, g)
+		}
+	}
+	in.live = live
+	if len(live) == 0 {
 		return
 	}
+	g := live[in.src.Intn(len(live))]
 	m := in.src.Intn(g.Config().Width())
 	before := g.State()
 	st := g.FailDisk(m)
@@ -114,6 +131,9 @@ func (in *Injector) injectOne() {
 				At: in.eng.Now(), Component: fmt.Sprintf("grp%d", g.ID),
 				Class: monitor.Software, Kind: "ost-offline",
 			})
+			if in.OnGroupFailed != nil {
+				in.OnGroupFailed(g)
+			}
 		}
 		return
 	}
@@ -127,7 +147,11 @@ func (in *Injector) injectOne() {
 			in.src.Split(fmt.Sprintf("repl-%d", in.replID)))
 		in.replID++
 		in.Rebuilds++
-		g.StartRebuild(m, repl, nil)
+		g.StartRebuild(m, repl, func() {
+			if in.OnRebuildDone != nil {
+				in.OnRebuildDone(g)
+			}
+		})
 	})
 }
 

@@ -1,6 +1,7 @@
 package failure
 
 import (
+	"fmt"
 	"testing"
 
 	"spiderfs/internal/disk"
@@ -40,6 +41,79 @@ func TestInjectorFailsAndRebuilds(t *testing.T) {
 		if ev.Class != monitor.Hardware || ev.Kind != "disk-failure" {
 			t.Fatalf("unexpected first event %+v", ev)
 		}
+	}
+}
+
+// A draw landing on an already-Failed group must resample among live
+// groups rather than silently wasting the failure slot: with 3 of 4
+// groups pre-failed, every injected failure must land on the survivor.
+func TestInjectorResamplesFailedGroups(t *testing.T) {
+	eng := sim.NewEngine()
+	groups := smallGroups(eng, 4, 7)
+	for _, g := range groups[:3] {
+		for m := 0; m < 3; m++ { // 3 > parity: group Failed
+			g.FailDisk(m)
+		}
+		if g.State() != raid.Failed {
+			t.Fatal("setup: group not failed")
+		}
+	}
+	var events []monitor.Event
+	in := NewInjector(eng, groups, DiskFailureConfig{AnnualFailureRate: 300, ReplaceDelay: sim.Minute}, rng.New(8))
+	in.Events = func(ev monitor.Event) { events = append(events, ev) }
+	in.Start()
+	eng.RunUntil(4 * sim.Hour)
+	in.Stop()
+	eng.Run()
+	if in.Failures == 0 {
+		t.Fatal("no failures delivered with one live group remaining")
+	}
+	live := fmt.Sprintf("grp%d-", groups[3].ID)
+	for _, ev := range events {
+		if ev.Kind != "disk-failure" {
+			continue
+		}
+		if len(ev.Component) < len(live) || ev.Component[:len(live)] != live {
+			t.Fatalf("failure injected into dead group: %s", ev.Component)
+		}
+	}
+}
+
+func TestInjectorAllGroupsFailedIsQuiet(t *testing.T) {
+	eng := sim.NewEngine()
+	groups := smallGroups(eng, 2, 9)
+	for _, g := range groups {
+		for m := 0; m < 3; m++ {
+			g.FailDisk(m)
+		}
+	}
+	in := NewInjector(eng, groups, DiskFailureConfig{AnnualFailureRate: 300, ReplaceDelay: sim.Minute}, rng.New(10))
+	in.Start()
+	eng.RunUntil(2 * sim.Hour)
+	in.Stop()
+	eng.Run()
+	if in.Failures != 0 {
+		t.Fatalf("injected %d failures with no live group", in.Failures)
+	}
+}
+
+func TestInjectorHooksFire(t *testing.T) {
+	eng := sim.NewEngine()
+	groups := smallGroups(eng, 2, 11)
+	in := NewInjector(eng, groups, DiskFailureConfig{AnnualFailureRate: 400, ReplaceDelay: sim.Minute}, rng.New(12))
+	rebuilt := 0
+	in.OnRebuildDone = func(*raid.Group) { rebuilt++ }
+	failed := 0
+	in.OnGroupFailed = func(*raid.Group) { failed++ }
+	in.Start()
+	eng.RunUntil(12 * sim.Hour)
+	in.Stop()
+	eng.Run()
+	if rebuilt == 0 {
+		t.Fatal("OnRebuildDone never fired at an extreme failure rate")
+	}
+	if failed != in.DataLoss {
+		t.Fatalf("OnGroupFailed fired %d times, DataLoss = %d", failed, in.DataLoss)
 	}
 }
 

@@ -25,7 +25,10 @@ func (n NullTransport) Send(_ topology.Coord, _ int, _ int64, done func()) {
 }
 
 // FabricTransport routes payloads over a netsim.Fabric with the chosen
-// routing discipline.
+// routing discipline. Sends go through the fabric's router-failure
+// path: a dead router stalls the sender (without ARN) or is routed
+// around (with ARN), and a send with no eligible router left is
+// recorded as a dropped flow instead of panicking.
 type FabricTransport struct {
 	Fabric *netsim.Fabric
 	Mode   netsim.RouteMode
@@ -34,8 +37,7 @@ type FabricTransport struct {
 
 // Send implements Transport.
 func (t FabricTransport) Send(from topology.Coord, oss int, bytes int64, done func()) {
-	path := t.Fabric.ClientPath(from, oss, t.Mode, t.Src)
-	t.Fabric.Net.StartFlow(path, float64(bytes), func() { done() })
+	t.Fabric.StartClientFlow(from, oss, t.Mode, float64(bytes), t.Src, done)
 }
 
 // Client is one compute-node Lustre client issuing pipelined RPC
@@ -55,9 +57,21 @@ type Client struct {
 	// why Fig. 3 plateaus past 1 MiB rather than improving.
 	MaxRPC int64
 
+	// RPCTimeout, when positive, arms a watchdog on every issued RPC.
+	// An RPC still unacknowledged when the watchdog expires counts one
+	// timeout and one (modeled) resend, and the watchdog re-arms — so a
+	// send stalled behind a dead server or router is visible in the
+	// counters even though the simulated RPC eventually replays. Zero
+	// disables the watchdog.
+	RPCTimeout sim.Time
+
 	BytesWritten int64
 	BytesRead    int64
 	RPCsSent     uint64
+	// RPCTimeouts counts watchdog expirations (stalled sends);
+	// RPCRetries counts the resends those expirations model.
+	RPCTimeouts uint64
+	RPCRetries  uint64
 }
 
 // NewClient builds a client at the given torus coordinate.
@@ -126,7 +140,20 @@ func (s *stream) issue(size int64) {
 	ossIdx := s.c.FS.ostOSS[oi]
 	oss := s.c.FS.OSSes[ossIdx]
 	fs := s.c.FS
+	var watchdog *sim.Event
+	if cl := s.c; cl.RPCTimeout > 0 {
+		var arm func()
+		arm = func() {
+			watchdog = fs.eng.After(cl.RPCTimeout, func() {
+				cl.RPCTimeouts++
+				cl.RPCRetries++
+				arm()
+			})
+		}
+		arm()
+	}
 	complete := func() {
+		watchdog.Cancel()
 		s.inFlight--
 		s.acked += size
 		if s.write {

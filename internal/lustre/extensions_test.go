@@ -117,16 +117,78 @@ func TestFailOSSStallsApplicationWrites(t *testing.T) {
 	}
 }
 
-func TestDoubleFailPanics(t *testing.T) {
+func TestDoubleFailReturnsError(t *testing.T) {
 	eng := sim.NewEngine()
 	fs := Build(eng, TestNamespace(), rng.New(82))
-	FailOSS(fs, 0, DefaultRecovery(true), nil)
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
+	if err := FailOSS(fs, 0, DefaultRecovery(true), nil); err != nil {
+		t.Fatalf("first fault: %v", err)
+	}
+	if err := FailOSS(fs, 0, DefaultRecovery(true), nil); err == nil {
+		t.Fatal("faulting a down OSS should return an error")
+	}
+	if fs.OSSes[0].DoubleFaults != 1 {
+		t.Fatalf("DoubleFaults = %d, want 1", fs.OSSes[0].DoubleFaults)
+	}
+	if err := FailOSS(fs, len(fs.OSSes), DefaultRecovery(true), nil); err == nil {
+		t.Fatal("out-of-range OSS index should return an error")
+	}
+	// The run stays healthy: recovery completes as scheduled.
+	eng.Run()
+	if fs.OSSes[0].Down() {
+		t.Fatal("OSS should have recovered")
+	}
+}
+
+func TestRecoverReplaysStalledRPCsFIFO(t *testing.T) {
+	eng := sim.NewEngine()
+	fs := Build(eng, TestNamespace(), rng.New(85))
+	oss := fs.OSSes[0]
+	oss.Fail()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		oss.Service(1<<20, func() { order = append(order, i) })
+	}
+	if oss.StalledRPCs != 5 {
+		t.Fatalf("stalled = %d, want 5", oss.StalledRPCs)
+	}
+	oss.Recover()
+	eng.Run()
+	if len(order) != 5 {
+		t.Fatalf("completions = %d, want 5", len(order))
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("replay order %v, want FIFO arrival order", order)
 		}
-	}()
-	FailOSS(fs, 0, DefaultRecovery(true), nil)
+	}
+}
+
+func TestRPCWatchdogCountsStalledSends(t *testing.T) {
+	eng := sim.NewEngine()
+	fs := Build(eng, TestNamespace(), rng.New(86))
+	client := NewClient(0, topology.Coord{}, fs, NullTransport{Eng: eng})
+	client.RPCTimeout = 100 * sim.Second
+	var file *File
+	fs.CreateOn("app/f", []int{0}, func(f *File) { file = f })
+	eng.Run()
+	cfg := DefaultRecovery(false) // 345 s outage: three 100 s watchdog windows
+	if err := FailOSS(fs, 0, cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	client.WriteStream(file, 1<<20, 1<<20, nil)
+	eng.Run()
+	if client.RPCTimeouts != 3 || client.RPCRetries != 3 {
+		t.Fatalf("timeouts/retries = %d/%d, want 3/3 across the %v outage",
+			client.RPCTimeouts, client.RPCRetries, cfg.OutageDuration())
+	}
+	// A healthy write trips no watchdog.
+	before := client.RPCTimeouts
+	client.WriteStream(file, 4<<20, 1<<20, nil)
+	eng.Run()
+	if client.RPCTimeouts != before {
+		t.Fatalf("healthy write tripped %d watchdogs", client.RPCTimeouts-before)
+	}
 }
 
 // --- DNE ---

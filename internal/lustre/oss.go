@@ -31,6 +31,9 @@ type OSS struct {
 	// StalledRPCs counts requests that arrived while the server was
 	// down and had to wait for recovery.
 	StalledRPCs uint64
+	// DoubleFaults counts faults injected while the server was already
+	// down (rejected by FailOSS).
+	DoubleFaults uint64
 }
 
 // NewOSS builds an OSS on eng.
@@ -82,7 +85,9 @@ func (s *OSS) Fail() { s.down = true }
 // Down reports whether the server is failed.
 func (s *OSS) Down() bool { return s.down }
 
-// Recover brings the server back and replays stalled requests.
+// Recover brings the server back and replays stalled requests in FIFO
+// arrival order — the ordering Lustre's transaction-replay window
+// guarantees.
 func (s *OSS) Recover() {
 	if !s.down {
 		return

@@ -1,6 +1,10 @@
 package lustre
 
-import "spiderfs/internal/sim"
+import (
+	"fmt"
+
+	"spiderfs/internal/sim"
+)
 
 // RecoveryConfig models Lustre's server-failure recovery path. OLCF
 // direct-funded "imperative recovery" (§IV-D): instead of clients
@@ -46,11 +50,18 @@ func (c RecoveryConfig) OutageDuration() sim.Time {
 // FailOSS crashes the given OSS now and schedules its recovery per cfg.
 // In-flight and newly issued RPCs to the server stall and replay when
 // the failover completes; done (may be nil) receives the realized
-// outage duration.
-func FailOSS(fs *FS, oss int, cfg RecoveryConfig, done func(outage sim.Time)) {
+// outage duration. Faulting a server that is already down is a
+// recoverable condition — chaos campaigns sample servers at random —
+// so it is reported as an error (and counted on the OSS) rather than
+// panicking the run.
+func FailOSS(fs *FS, oss int, cfg RecoveryConfig, done func(outage sim.Time)) error {
+	if oss < 0 || oss >= len(fs.OSSes) {
+		return fmt.Errorf("lustre: FailOSS index %d out of range [0,%d)", oss, len(fs.OSSes))
+	}
 	s := fs.OSSes[oss]
 	if s.Down() {
-		panic("lustre: OSS already down")
+		s.DoubleFaults++
+		return fmt.Errorf("lustre: OSS %d already down", oss)
 	}
 	start := fs.eng.Now()
 	s.Fail()
@@ -60,4 +71,5 @@ func FailOSS(fs *FS, oss int, cfg RecoveryConfig, done func(outage sim.Time)) {
 			done(fs.eng.Now() - start)
 		}
 	})
+	return nil
 }

@@ -77,6 +77,11 @@ type Fabric struct {
 	arn           bool
 	StalledSends  uint64
 	StallTime     sim.Time
+	// DroppedFlows counts sends abandoned because no eligible router
+	// remained (the whole fleet dead or blacklisted); OnDrop, when set,
+	// is the error path invoked for each such send.
+	DroppedFlows uint64
+	OnDrop       func(oss int, bytes float64)
 }
 
 const (

@@ -99,6 +99,11 @@ func (f *Fabric) pathVia(c topology.Coord, oss, rid int) []*Link {
 // was not notified (no ARN), the flow stalls for RouterTimeout, the
 // sender blacklists that router, and retries on another. Counters
 // record the stalls so the ARN ablation can quantify the feature.
+//
+// When no eligible router remains (a center-wide router loss, or every
+// router blacklisted after stalls), the send is dropped: DroppedFlows
+// is incremented, the optional OnDrop error path runs, and done never
+// fires — the caller's stalled-send counters make the loss visible.
 func (f *Fabric) StartClientFlow(c topology.Coord, oss int, mode RouteMode, bytes float64, src *rng.Source, done func()) {
 	eng := f.engine()
 	skip := map[int]bool{}
@@ -106,7 +111,11 @@ func (f *Fabric) StartClientFlow(c topology.Coord, oss int, mode RouteMode, byte
 	attempt = func() {
 		rid := f.selectRouter(c, f.ossLeaf[oss], mode, src, skip)
 		if rid < 0 {
-			panic("netsim: no eligible router remains")
+			f.DroppedFlows++
+			if f.OnDrop != nil {
+				f.OnDrop(oss, bytes)
+			}
+			return
 		}
 		if f.failedRouters[rid] {
 			// Dead router selected: without ARN the sender discovers it

@@ -69,7 +69,7 @@ func TestNoARNStallsThenRetries(t *testing.T) {
 	}
 }
 
-func TestSelectRouterExhaustionPanics(t *testing.T) {
+func TestRouterExhaustionDropsFlow(t *testing.T) {
 	eng := sim.NewEngine()
 	f := smallFabric(eng)
 	f.SetNotification(true)
@@ -77,12 +77,55 @@ func TestSelectRouterExhaustionPanics(t *testing.T) {
 	for rid := 0; rid < f.NumRouters(); rid++ {
 		f.FailRouter(rid)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic when no router remains")
-		}
-	}()
-	f.StartClientFlow(topology.Coord{}, 0, RouteNaive, 1e6, src, nil)
+	var droppedOSS int
+	var droppedBytes float64
+	f.OnDrop = func(oss int, bytes float64) { droppedOSS, droppedBytes = oss, bytes }
+	done := false
+	f.StartClientFlow(topology.Coord{}, 2, RouteNaive, 1e6, src, func() { done = true })
+	eng.Run()
+	if done {
+		t.Fatal("a dropped flow must not report completion")
+	}
+	if f.DroppedFlows != 1 {
+		t.Fatalf("DroppedFlows = %d, want 1", f.DroppedFlows)
+	}
+	if droppedOSS != 2 || droppedBytes != 1e6 {
+		t.Fatalf("OnDrop saw (%d, %g), want (2, 1e6)", droppedOSS, droppedBytes)
+	}
+	// Recovery makes the fabric usable again — the condition is
+	// transient, not fatal.
+	for rid := 0; rid < f.NumRouters(); rid++ {
+		f.RecoverRouter(rid)
+	}
+	f.StartClientFlow(topology.Coord{}, 2, RouteNaive, 1e6, src, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("flow after recovery never completed")
+	}
+}
+
+func TestNoARNExhaustionStallsThenDrops(t *testing.T) {
+	eng := sim.NewEngine()
+	f := smallFabric(eng)
+	f.SetNotification(false)
+	src := rng.New(5)
+	for rid := 0; rid < f.NumRouters(); rid++ {
+		f.FailRouter(rid)
+	}
+	done := false
+	f.StartClientFlow(topology.Coord{X: 1}, 0, RouteFGR, 1e6, src, func() { done = true })
+	eng.Run()
+	if done {
+		t.Fatal("flow with every router dead must not complete")
+	}
+	if f.DroppedFlows != 1 {
+		t.Fatalf("DroppedFlows = %d, want 1", f.DroppedFlows)
+	}
+	// Without ARN the sender discovered each dead router the hard way
+	// before giving up: stalls were paid and recorded.
+	if f.StalledSends == 0 || f.StallTime == 0 {
+		t.Fatalf("stalls = %d / %v, want > 0 before the drop", f.StalledSends, f.StallTime)
+	}
 }
 
 func TestHealthyFabricFlowsUnaffectedByARNFlag(t *testing.T) {

@@ -93,6 +93,11 @@ type Group struct {
 	BytesRead       int64
 	BytesWritten    int64
 	LostStripes     int64 // stripes unrecoverable after Failed
+	// IOErrors counts reads/writes issued against the group after it
+	// transitioned to Failed; they complete immediately with an
+	// (implied) EIO instead of panicking, so a chaos campaign survives
+	// applications racing a data-loss event.
+	IOErrors uint64
 }
 
 // NewGroup builds a group over the given member disks. len(members) must
@@ -179,7 +184,8 @@ func (g *Group) submitTo(member int, op disk.Op, b *sim.Barrier) {
 // stripes fan out to all surviving members (reconstruction).
 func (g *Group) Read(off, size int64, done func()) {
 	if g.state == Failed {
-		panic("raid: read from failed group")
+		g.ioError(done)
+		return
 	}
 	g.Reads++
 	g.BytesRead += size
@@ -207,7 +213,8 @@ func (g *Group) Read(off, size int64, done func()) {
 // (read old data + parity, then write new data + parity).
 func (g *Group) Write(off, size int64, done func()) {
 	if g.state == Failed {
-		panic("raid: write to failed group")
+		g.ioError(done)
+		return
 	}
 	g.Writes++
 	g.BytesWritten += size
@@ -249,6 +256,16 @@ func (g *Group) Write(off, size int64, done func()) {
 		phase1.Arm()
 	})
 	b.Arm()
+}
+
+// ioError completes an I/O against a Failed group: the controller
+// returns the error without touching disks (zero service time beyond
+// the event hop).
+func (g *Group) ioError(done func()) {
+	g.IOErrors++
+	if done != nil {
+		g.eng.After(0, done)
+	}
 }
 
 // forEachStripe decomposes [off, off+size) into per-stripe chunk ranges.
