@@ -1,15 +1,24 @@
 // Command benchsuite runs the acquisition benchmark suite (§III-B):
 // the full parameter-space sweep at block level and file-system level,
 // and the derived software-overhead table.
+//
+// With -netsim it instead runs the flow-solver benchmark suite: the
+// ordered-registry start/finish path versus the frozen map-based
+// baseline, and a Spider II-scale congestion run (18,688 clients, 440
+// LNET routers, 288 OSSes) recording ns/flow-event. -out writes the
+// JSON artifact (the checked-in BENCH_netsim.json is produced by
+// `go run ./cmd/benchsuite -netsim -out BENCH_netsim.json`).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"spiderfs/internal/benchsuite"
 	"spiderfs/internal/disk"
 	"spiderfs/internal/lustre"
+	"spiderfs/internal/netbench"
 	"spiderfs/internal/raid"
 	"spiderfs/internal/rng"
 	"spiderfs/internal/sim"
@@ -18,7 +27,15 @@ import (
 func main() {
 	cellSec := flag.Float64("cell", 1.0, "seconds per sweep cell (simulated)")
 	seed := flag.Uint64("seed", 42, "random seed")
+	netsimSuite := flag.Bool("netsim", false, "run the netsim flow-solver suite instead of the acquisition sweep")
+	full := flag.Bool("full", true, "with -netsim, include the Spider II-scale congestion benchmark")
+	out := flag.String("out", "", "with -netsim, write the suite JSON to this file")
 	flag.Parse()
+
+	if *netsimSuite {
+		runNetsim(*full, *out)
+		return
+	}
 
 	sweep := benchsuite.DefaultSweep()
 	sweep.CellDuration = sim.FromSeconds(*cellSec)
@@ -41,4 +58,23 @@ func main() {
 	for _, o := range benchsuite.CompareLevels(block, fsCells) {
 		fmt.Printf("%-24s %12.1f %12.1f %9.1f%%\n", o.Cell, o.BlockMBps, o.FSMBps, o.Frac*100)
 	}
+}
+
+func runNetsim(full bool, out string) {
+	fmt.Println("== netsim flow solver (ordered registries vs frozen map baseline) ==")
+	s := netbench.Run(full)
+	fmt.Print(s.Render())
+	if out == "" {
+		return
+	}
+	data, err := s.JSON()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", out)
 }

@@ -73,6 +73,12 @@ type Config struct {
 	// report can quantify degraded operation, not just downtime.
 	ProbeInterval sim.Time
 	ProbeBytes    int64
+
+	// TraceEvents arms the engine's event-trace audit: the report's
+	// EventTrace/TraceEvents fields then fingerprint every fired event's
+	// (time, seq) pair, so two runs can be compared at event granularity
+	// rather than only through the aggregated report fingerprint.
+	TraceEvents bool
 }
 
 // DefaultConfig is the 7-day full-scale campaign over both namespaces
@@ -187,6 +193,11 @@ func Run(cfg Config) *Report {
 	cc.Fabric.SetNotification(cfg.ARN)
 
 	eng := cc.Eng
+	var th *sim.TraceHash
+	if cfg.TraceEvents {
+		th = sim.NewTraceHash()
+		eng.SetTrace(th.Observe)
+	}
 	ledger := NewLedger(eng)
 	graph := NewGraph(eng, ledger)
 	p := &campaign{
@@ -219,6 +230,10 @@ func Run(cfg Config) *Report {
 	ledger.Close()
 	p.coal.Close()
 	p.finishReport()
+	if th != nil {
+		p.rep.EventTrace = th.Sum()
+		p.rep.TraceEvents = th.Events()
+	}
 	return p.rep
 }
 

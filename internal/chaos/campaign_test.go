@@ -3,6 +3,8 @@ package chaos
 import (
 	"sync"
 	"testing"
+
+	"spiderfs/internal/sim"
 )
 
 const testSeed = 7
@@ -36,6 +38,35 @@ func TestCampaignDeterministic(t *testing.T) {
 	if r1.Availability != r2.Availability || r1.OSTDowntime != r2.OSTDowntime {
 		t.Fatalf("availability differs: %v/%v vs %v/%v",
 			r1.Availability, r1.OSTDowntime, r2.Availability, r2.OSTDowntime)
+	}
+}
+
+// The event-granular determinism contract: two in-process runs of a
+// congestion-heavy full-center campaign (dense probe pulses drive many
+// same-instant flow completions through the shared fabric) must produce
+// byte-identical engine event traces, not just matching aggregate
+// fingerprints. This is the center-wide regression test for the ordered
+// flow registries in netsim: scheduling any event from map iteration
+// reorders the engine's FIFO tie-break seq and diverges the trace.
+func TestCampaignEventTraceDeterministic(t *testing.T) {
+	cfg := QuickConfig(testSeed)
+	cfg.TraceEvents = true
+	// Congestion-heavy: probe every 15 minutes so striped writes from
+	// every namespace overlap in the fabric for most of the window.
+	cfg.ProbeInterval = 15 * sim.Minute
+	r1 := Run(cfg)
+	r2 := Run(cfg)
+	if r1.TraceEvents == 0 {
+		t.Fatal("trace observed no events")
+	}
+	if r1.TraceEvents != r2.TraceEvents {
+		t.Fatalf("event counts differ: %d vs %d", r1.TraceEvents, r2.TraceEvents)
+	}
+	if r1.EventTrace != r2.EventTrace {
+		t.Fatalf("event traces differ: %x vs %x", r1.EventTrace, r2.EventTrace)
+	}
+	if r1.Fingerprint() != r2.Fingerprint() {
+		t.Fatalf("fingerprints differ: %x vs %x", r1.Fingerprint(), r2.Fingerprint())
 	}
 }
 

@@ -60,6 +60,15 @@ type Report struct {
 	MeanProbeMBps     float64
 	MinProbeMBps      float64
 
+	// Event-trace audit (populated when Config.TraceEvents is set):
+	// a fingerprint over every fired engine event's (time, seq) pair
+	// and the number of events observed. Two runs of the same
+	// configuration must agree on both — the event-granular form of the
+	// determinism contract, which catches scheduling-order divergence
+	// even when the aggregate counters happen to collide.
+	EventTrace  uint64
+	TraceEvents uint64
+
 	Components []ComponentStats
 	Timeline   []string
 
@@ -149,6 +158,8 @@ func (r *Report) Fingerprint() uint64 {
 	i(r.UnavailableProbes)
 	f(r.MeanProbeMBps)
 	f(r.MinProbeMBps)
+	u(r.EventTrace)
+	u(r.TraceEvents)
 	for _, c := range r.Components {
 		h.Write([]byte(c.Name))
 		i(c.Failures)

@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"fmt"
+	"sort"
 
 	"spiderfs/internal/lustre"
 	"spiderfs/internal/sim"
@@ -67,12 +68,15 @@ func (s *Store) Series(name string) *TimeSeries {
 	return ts
 }
 
-// Names returns the registered series names.
+// Names returns the registered series names, sorted. (The backing
+// index is a map; handing callers its iteration order would leak map
+// randomization into reports — see the determinism contract.)
 func (s *Store) Names() []string {
 	out := make([]string, 0, len(s.series))
 	for n := range s.series {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -36,6 +36,39 @@ func BenchmarkFlowChurn(b *testing.B) {
 	eng.Run()
 }
 
+// BenchmarkSpider2Congestion drives the production-scale fabric —
+// Titan's 18,688 clients on the 25x16x24 torus, 440 LNET routers, 288
+// OSSes — through waves of concurrent striped writes with enough fan-in
+// that every OSS port and router carries several flows. Each op starts
+// one wave and drains it, so the number is the cost of the whole
+// start/re-rate/finish machinery under congestion. The companion
+// internal/netbench suite records the same run (plus the map-baseline
+// comparison) into BENCH_netsim.json.
+func BenchmarkSpider2Congestion(b *testing.B) {
+	const (
+		clients = 18688
+		nOSS    = 288
+		batch   = 2048
+	)
+	eng := sim.NewEngine()
+	cfg := Spider2Fabric()
+	f := NewFabric(eng, cfg, placementForBench(cfg), nOSS)
+	src := rng.New(3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < batch; j++ {
+			c := cfg.Torus.CoordOf(src.Intn(clients) % cfg.Torus.Nodes())
+			f.StartClientFlow(c, src.Intn(nOSS), RouteFGR, 32e6, src, nil)
+		}
+		eng.Run()
+	}
+	b.StopTimer()
+	if fired := eng.Fired(); fired > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(fired), "ns/flow-event")
+	}
+}
+
 // BenchmarkClientPathFGR measures route computation on the full Titan
 // fabric.
 func BenchmarkClientPathFGR(b *testing.B) {

@@ -10,7 +10,9 @@ import "sort"
 // procedure compares sibling links' delivered throughput.
 
 // Degrade reduces the link's capacity to frac of nominal (0 < frac <=
-// 1). Flows currently on the link are re-rated.
+// 1). Flows currently on the link are re-rated in insertion order;
+// capacity-seconds are settled first so Utilization keeps reporting
+// against the historically available bandwidth.
 func (n *Network) Degrade(l *Link, frac float64) {
 	if frac <= 0 || frac > 1 {
 		panic("netsim: degrade fraction out of range")
@@ -18,25 +20,18 @@ func (n *Network) Degrade(l *Link, frac float64) {
 	if l.nominal == 0 {
 		l.nominal = l.Cap
 	}
+	l.accrueCap(n.eng.Now())
 	l.Cap = l.nominal * frac
-	// Re-rate everything using the link.
-	affected := map[*Flow]struct{}{}
-	for f := range l.flows {
-		affected[f] = struct{}{}
-	}
-	n.reassign(affected)
+	n.reassign(n.affectedLink(l))
 }
 
 // Restore returns a degraded link to nominal capacity.
 func (n *Network) Restore(l *Link) {
 	if l.nominal != 0 {
+		l.accrueCap(n.eng.Now())
 		l.Cap = l.nominal
 		l.nominal = 0
-		affected := map[*Flow]struct{}{}
-		for f := range l.flows {
-			affected[f] = struct{}{}
-		}
-		n.reassign(affected)
+		n.reassign(n.affectedLink(l))
 	}
 }
 
@@ -55,6 +50,10 @@ type CableSuspect struct {
 // sibling group of links (e.g. all router->leaf ports) at time now and
 // returns them ranked worst-first. Links that carried no traffic are
 // skipped — the procedure requires exercising the path, as OLCF's did.
+// For even-sized sibling groups the median is the mean of the two
+// middle throughputs (taking the upper-middle element alone biases
+// RatioToMedian low); equal ratios are broken by link name so the
+// ranking is deterministic.
 func DiagnoseCables(links []*Link, nowSeconds float64) []CableSuspect {
 	var rates []float64
 	var rows []CableSuspect
@@ -72,12 +71,20 @@ func DiagnoseCables(links []*Link, nowSeconds float64) []CableSuspect {
 	sorted := append([]float64(nil), rates...)
 	sort.Float64s(sorted)
 	median := sorted[len(sorted)/2]
+	if len(sorted)%2 == 0 {
+		median = (sorted[len(sorted)/2-1] + sorted[len(sorted)/2]) / 2
+	}
 	for i := range rows {
 		if median > 0 {
 			rows[i].RatioToMedian = rows[i].Throughput / median
 		}
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].RatioToMedian < rows[j].RatioToMedian })
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].RatioToMedian != rows[j].RatioToMedian {
+			return rows[i].RatioToMedian < rows[j].RatioToMedian
+		}
+		return rows[i].Name < rows[j].Name
+	})
 	return rows
 }
 

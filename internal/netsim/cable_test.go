@@ -100,6 +100,66 @@ func TestDiagnoseCablesSkipsIdle(t *testing.T) {
 	}
 }
 
+// mkCarried builds a link that has carried bytes over one second, for
+// diagnosis-math tests.
+func mkCarried(n *Network, name string, bytes float64) *Link {
+	l := n.NewLink(name, 1e9, 0)
+	l.BytesCarried = bytes
+	return l
+}
+
+// Even-sized sibling groups must use the mean of the two middle
+// throughputs as the median. The upper-middle element alone biased
+// RatioToMedian low: with rates {2,4,6,8} the old code divided by 6, so
+// a healthy 4 looked like ratio 0.67 — below the 0.7 suspect line.
+func TestDiagnoseCablesEvenMedian(t *testing.T) {
+	eng := sim.NewEngine()
+	n := NewNetwork(eng)
+	links := []*Link{
+		mkCarried(n, "a", 2e9),
+		mkCarried(n, "b", 4e9),
+		mkCarried(n, "c", 6e9),
+		mkCarried(n, "d", 8e9),
+	}
+	rows := DiagnoseCables(links, 1)
+	// Median = (4+6)/2 = 5 GB/s.
+	byName := map[string]CableSuspect{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if got := byName["b"].RatioToMedian; math.Abs(got-4.0/5.0) > 1e-9 {
+		t.Fatalf("ratio(b) = %v, want 0.8 (upper-middle median would give %v)", got, 4.0/6.0)
+	}
+	if byName["b"].RatioToMedian < 0.7 {
+		t.Fatal("healthy middle link flagged as suspect under even-group median")
+	}
+	if got := byName["a"].RatioToMedian; math.Abs(got-2.0/5.0) > 1e-9 {
+		t.Fatalf("ratio(a) = %v, want 0.4", got)
+	}
+}
+
+// Equal ratios must rank in link-name order, so the report is stable
+// run to run (the worst-first sort previously had no tie-break).
+func TestDiagnoseCablesDeterministicTieBreak(t *testing.T) {
+	eng := sim.NewEngine()
+	n := NewNetwork(eng)
+	// Insertion order deliberately scrambled; all carry identical bytes.
+	names := []string{"rtr9", "rtr1", "rtr5", "rtr3", "rtr7"}
+	var links []*Link
+	for _, nm := range names {
+		links = append(links, mkCarried(n, nm, 3e9))
+	}
+	for trial := 0; trial < 3; trial++ {
+		rows := DiagnoseCables(links, 1)
+		want := []string{"rtr1", "rtr3", "rtr5", "rtr7", "rtr9"}
+		for i, r := range rows {
+			if r.Name != want[i] {
+				t.Fatalf("trial %d: rank %d = %s, want %s", trial, i, r.Name, want[i])
+			}
+		}
+	}
+}
+
 func TestDegradedFabricVisibleInCongestion(t *testing.T) {
 	eng := sim.NewEngine()
 	f := smallFabric(eng)

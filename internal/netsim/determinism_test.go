@@ -1,0 +1,126 @@
+package netsim
+
+import (
+	"testing"
+
+	"spiderfs/internal/rng"
+	"spiderfs/internal/sim"
+	"spiderfs/internal/topology"
+)
+
+// congestionRun drives a deliberately nasty scheduling scenario: many
+// identically-sized flows funneled through one bottleneck link, so they
+// all complete at the same instant and their completion order — and the
+// RNG draws their done() callbacks make — is decided purely by event
+// scheduling order. Before the ordered intrusive registries, reassign
+// iterated a map[*Flow]struct{} here, so the engine's FIFO tie-break
+// seq was assigned in randomized map order and this trace differed run
+// to run. It returns the completion order, the RNG values drawn in the
+// callbacks, and the engine's event-trace fingerprint.
+func congestionRun(seed uint64) (order []int, draws []uint64, trace uint64) {
+	eng := sim.NewEngine()
+	th := sim.NewTraceHash()
+	eng.SetTrace(th.Observe)
+	n := NewNetwork(eng)
+	src := rng.New(seed)
+
+	bottleneck := n.NewLink("bottleneck", 1e9, 0)
+	spokes := make([]*Link, 7)
+	for i := range spokes {
+		spokes[i] = n.NewLink("spoke", 8e9, 0)
+	}
+	const flows = 96
+	for i := 0; i < flows; i++ {
+		id := i
+		path := []*Link{spokes[src.Intn(len(spokes))], bottleneck}
+		n.StartFlow(path, 1e7, func() {
+			order = append(order, id)
+			draws = append(draws, src.Uint64())
+		})
+	}
+	// A second wave lands mid-flight so starts interleave with the
+	// steady state (reassign churn on a congested link).
+	eng.At(sim.FromSeconds(0.1), func() {
+		for i := 0; i < flows/2; i++ {
+			id := flows + i
+			path := []*Link{spokes[src.Intn(len(spokes))], bottleneck}
+			n.StartFlow(path, 1e7, func() {
+				order = append(order, id)
+				draws = append(draws, src.Uint64())
+			})
+		}
+	})
+	eng.Run()
+	return order, draws, th.Sum()
+}
+
+// TestSameInstantCompletionsDeterministic is the determinism regression
+// test for the ordered flow registries: two in-process runs must agree
+// on the exact completion order, the RNG stream consumed by completion
+// callbacks, and the engine event trace. Reverting reassign (or the
+// affected-set collection) to map iteration makes this fail with
+// overwhelming probability — 96 same-instant completions fire in map
+// order, and Go randomizes that order per run.
+func TestSameInstantCompletionsDeterministic(t *testing.T) {
+	o1, d1, t1 := congestionRun(11)
+	o2, d2, t2 := congestionRun(11)
+	if t1 != t2 {
+		t.Fatalf("event traces differ: %x vs %x", t1, t2)
+	}
+	if len(o1) != len(o2) || len(o1) != 144 {
+		t.Fatalf("completion counts: %d vs %d, want 144", len(o1), len(o2))
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("completion order diverges at %d: flow %d vs flow %d", i, o1[i], o2[i])
+		}
+		if d1[i] != d2[i] {
+			t.Fatalf("callback RNG stream diverges at %d", i)
+		}
+	}
+}
+
+// TestFabricRunDeterministic runs a congestion-heavy full-fabric
+// scenario (small torus, fan-in to few OSSes, a router burst and a
+// degraded cable mid-run) twice and compares event traces — the
+// netsim-level half of the center-wide determinism contract.
+func TestFabricRunDeterministic(t *testing.T) {
+	run := func() (uint64, uint64, float64) {
+		eng := sim.NewEngine()
+		th := sim.NewTraceHash()
+		eng.SetTrace(th.Observe)
+		cfg := Spider2Fabric()
+		cfg.Torus = topology.Torus{NX: 5, NY: 4, NZ: 4}
+		pl := topology.PlaceRouters(topology.CabinetGrid{Cols: 5, Rows: 2}, cfg.Torus, 16, 4)
+		f := NewFabric(eng, cfg, pl, 8)
+		f.SetNotification(true)
+		src := rng.New(3)
+		send := func() {
+			c := cfg.Torus.CoordOf(src.Intn(cfg.Torus.Nodes()))
+			f.StartClientFlow(c, src.Intn(8), RouteFGR, 16e6, src, nil)
+		}
+		for i := 0; i < 200; i++ {
+			send()
+		}
+		eng.At(sim.FromSeconds(0.05), func() {
+			f.FailRouter(src.Intn(f.NumRouters()))
+			f.Net.Degrade(f.RouterUpLinks()[src.Intn(f.NumRouters())], 0.25)
+			for i := 0; i < 100; i++ {
+				send()
+			}
+		})
+		eng.Run()
+		return th.Sum(), f.Net.FlowsCompleted, f.Net.BytesDelivered
+	}
+	h1, c1, b1 := run()
+	h2, c2, b2 := run()
+	if h1 != h2 {
+		t.Fatalf("fabric event traces differ: %x vs %x", h1, h2)
+	}
+	if c1 != c2 || b1 != b2 {
+		t.Fatalf("fabric outcomes differ: %d/%g vs %d/%g", c1, b1, c2, b2)
+	}
+	if c1 == 0 {
+		t.Fatal("scenario completed no flows")
+	}
+}

@@ -167,12 +167,15 @@ func (f *Fabric) routerSwitch(rid int) int {
 	return m.Group*topology.SwitchesPerGroup + rid%4
 }
 
-// geminiPath appends the dimension-ordered torus links from a to b.
-func (f *Fabric) geminiPath(a, b topology.Coord) []*Link {
+// geminiPath appends the dimension-ordered torus links from a to b to
+// dst. It allocates nothing beyond dst's own growth, so pathVia can
+// build a whole client->OSS path in one right-sized allocation — paths
+// are built once per RPC, which makes this part of the flow-start hot
+// path at full scale.
+func (f *Fabric) geminiPath(dst []*Link, a, b topology.Coord) []*Link {
 	t := f.Cfg.Torus
-	var links []*Link
 	cur := a
-	for _, next := range t.Path(a, b) {
+	t.Walk(a, b, func(next topology.Coord) {
 		i := t.Index(cur)
 		var dir int
 		switch {
@@ -195,10 +198,10 @@ func (f *Fabric) geminiPath(a, b topology.Coord) []*Link {
 				dir = dirZMinus
 			}
 		}
-		links = append(links, f.gem[i][dir])
+		dst = append(dst, f.gem[i][dir])
 		cur = next
-	}
-	return links
+	})
+	return dst
 }
 
 // RouteMode selects the routing discipline.

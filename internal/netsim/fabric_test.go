@@ -116,7 +116,7 @@ func TestGeminiPathFollowsTorusRoute(t *testing.T) {
 	f := smallFabric(eng)
 	a := topology.Coord{X: 0, Y: 0, Z: 0}
 	b := topology.Coord{X: 2, Y: 1, Z: 3}
-	links := f.geminiPath(a, b)
+	links := f.geminiPath(nil, a, b)
 	want := f.Cfg.Torus.Distance(a, b)
 	if len(links) != want {
 		t.Fatalf("gemini path %d links, want %d", len(links), want)

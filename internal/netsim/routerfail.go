@@ -81,12 +81,15 @@ func (f *Fabric) selectRouter(c topology.Coord, destLeaf int, mode RouteMode, sr
 	}
 }
 
-// pathVia builds the full client->OSS link path through router rid.
+// pathVia builds the full client->OSS link path through router rid in a
+// single right-sized allocation (the path is retained by the flow until
+// completion, so it cannot come from a reusable scratch buffer).
 func (f *Fabric) pathVia(c topology.Coord, oss, rid int) []*Link {
 	destLeaf := f.ossLeaf[oss]
 	mod := f.Placement.Modules[rid/4]
-	path := []*Link{f.inject[f.Cfg.Torus.Index(c)]}
-	path = append(path, f.geminiPath(c, mod.Coord)...)
+	path := make([]*Link, 0, f.Cfg.Torus.Distance(c, mod.Coord)+6)
+	path = append(path, f.inject[f.Cfg.Torus.Index(c)])
+	path = f.geminiPath(path, c, mod.Coord)
 	path = append(path, f.routerFwd[rid], f.routerUp[rid])
 	if sw := f.routerSwitch(rid); sw != destLeaf {
 		path = append(path, f.coreUp[sw], f.coreDown[destLeaf])
@@ -106,7 +109,10 @@ func (f *Fabric) pathVia(c topology.Coord, oss, rid int) []*Link {
 // fires — the caller's stalled-send counters make the loss visible.
 func (f *Fabric) StartClientFlow(c topology.Coord, oss int, mode RouteMode, bytes float64, src *rng.Source, done func()) {
 	eng := f.engine()
-	skip := map[int]bool{}
+	// The blacklist is allocated lazily: the overwhelmingly common case
+	// is a first-attempt success, and this runs once per RPC. Lookups on
+	// the nil map are fine; only a stall materializes it.
+	var skip map[int]bool
 	var attempt func()
 	attempt = func() {
 		rid := f.selectRouter(c, f.ossLeaf[oss], mode, src, skip)
@@ -122,6 +128,9 @@ func (f *Fabric) StartClientFlow(c topology.Coord, oss int, mode RouteMode, byte
 			// the hard way.
 			f.StalledSends++
 			f.StallTime += RouterTimeout
+			if skip == nil {
+				skip = map[int]bool{}
+			}
 			skip[rid] = true
 			eng.After(RouterTimeout, attempt)
 			return

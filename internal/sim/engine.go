@@ -14,6 +14,7 @@ type Event struct {
 	fn       func()
 	canceled bool
 	fired    bool
+	idx      int // position in the heap, -1 once popped
 }
 
 // Time returns when the event is (or was) scheduled to fire.
@@ -43,20 +44,31 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*Event)) }
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
 func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
 	e := old[n-1]
 	old[n-1] = nil
+	e.idx = -1
 	*h = old[:n-1]
 	return e
 }
 
 // Engine is a discrete-event simulation executive. Events scheduled for
 // the same instant fire in scheduling order (FIFO tie-break), which makes
-// runs deterministic.
+// runs deterministic — provided model code schedules events in a
+// deterministic order (in particular, never from Go map iteration; see
+// the determinism contract in DESIGN.md).
 //
 // Engine is not safe for concurrent use; all model code must run on the
 // goroutine driving Run/Step.
@@ -66,7 +78,45 @@ type Engine struct {
 	heap    eventHeap
 	fired   uint64
 	stopped bool
+	trace   func(at Time, seq uint64)
 }
+
+// SetTrace installs a hook that observes every fired event (its
+// timestamp and scheduling sequence number) just before the callback
+// runs. Two runs of the same model are bit-identical exactly when their
+// traces are: the sequence number captures scheduling order, so any
+// map-ordered or otherwise nondeterministic scheduling shows up as a
+// trace divergence even when the fire times happen to agree. Pass nil
+// to remove the hook.
+func (e *Engine) SetTrace(fn func(at Time, seq uint64)) { e.trace = fn }
+
+// TraceHash folds an event trace into one comparable fingerprint
+// (FNV-1a over the (time, seq) stream). Feed Observe to SetTrace and
+// compare Sum values across runs to audit determinism.
+type TraceHash struct {
+	h      uint64
+	events uint64
+}
+
+// NewTraceHash returns an empty trace fingerprint.
+func NewTraceHash() *TraceHash { return &TraceHash{h: 14695981039346656037} }
+
+// Observe folds one fired event into the fingerprint.
+func (t *TraceHash) Observe(at Time, seq uint64) {
+	t.events++
+	for _, v := range [2]uint64{uint64(at), seq} {
+		for i := 0; i < 8; i++ {
+			t.h ^= (v >> (8 * i)) & 0xff
+			t.h *= 1099511628211
+		}
+	}
+}
+
+// Sum returns the fingerprint of everything observed so far.
+func (t *TraceHash) Sum() uint64 { return t.h }
+
+// Events returns how many fired events were observed.
+func (t *TraceHash) Events() uint64 { return t.events }
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine { return &Engine{} }
@@ -91,6 +141,27 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	e.seq++
 	heap.Push(&e.heap, ev)
 	return ev
+}
+
+// Reschedule moves a still-pending event to absolute time t, reusing
+// its allocation and callback. The event receives a fresh sequence
+// number, so FIFO tie-breaking behaves exactly as if the event had been
+// canceled and newly scheduled — but without allocating a replacement
+// or leaving a canceled tombstone in the heap. It reports whether the
+// move happened; a fired or canceled event is left untouched (schedule
+// a new one instead). Like At, moving an event into the past panics.
+func (e *Engine) Reschedule(ev *Event, t Time) bool {
+	if !ev.Pending() || ev.idx < 0 {
+		return false
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: rescheduling event at %v before now %v", t, e.now))
+	}
+	ev.t = t
+	ev.seq = e.seq
+	e.seq++
+	heap.Fix(&e.heap, ev.idx)
+	return true
 }
 
 // After schedules fn to run d after the current time. Negative d is
@@ -120,6 +191,9 @@ func (e *Engine) Step() bool {
 		fn := ev.fn
 		ev.fn = nil
 		e.fired++
+		if e.trace != nil {
+			e.trace(ev.t, ev.seq)
+		}
 		fn()
 		return true
 	}

@@ -73,7 +73,15 @@ func (t Torus) Distance(a, b Coord) int {
 // b, excluding a and including b. Gemini uses dimension-ordered routing,
 // so this is the deterministic path traffic actually takes.
 func (t Torus) Path(a, b Coord) []Coord {
-	var path []Coord
+	path := make([]Coord, 0, t.Distance(a, b))
+	t.Walk(a, b, func(c Coord) { path = append(path, c) })
+	return path
+}
+
+// Walk visits the dimension-ordered route from a to b (excluding a,
+// including b) without allocating — the form hot path construction in
+// netsim uses, where a []Coord per transfer would dominate allocations.
+func (t Torus) Walk(a, b Coord, visit func(Coord)) {
 	cur := a
 	step := func(axis byte) {
 		var n, dist, dir int
@@ -97,11 +105,10 @@ func (t Torus) Path(a, b Coord) []Coord {
 			case 'z':
 				cur.Z = (cur.Z + dir + n) % n
 			}
-			path = append(path, cur)
+			visit(cur)
 		}
 	}
 	step('x')
 	step('y')
 	step('z')
-	return path
 }

@@ -7,3 +7,13 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race ./internal/chaos/... ./internal/failure/...
+
+# Determinism double-run: the event-trace regression tests compare two
+# in-process runs already; -count=2 additionally reruns each comparison
+# in a fresh map-randomization schedule.
+go test -count=2 -run 'Deterministic' ./internal/netsim/ ./internal/chaos/
+
+# Benchmark smoke: one iteration of every netsim/sim benchmark,
+# including the Spider II-scale congestion wave, so the harness behind
+# BENCH_netsim.json cannot rot silently.
+go test -bench . -benchtime=1x -run '^$' ./internal/netsim/ ./internal/sim/ ./internal/netbench/
