@@ -702,9 +702,9 @@ func BenchmarkE16Provisioning(b *testing.B) {
 	var dlConv, dfConv provision.ConvergeResult
 	for i := 0; i < b.N; i++ {
 		eng := sim.NewEngine()
-		dlTime, _ = provision.FleetBoot(eng, 288, provision.DisklessProfile(), provision.Spider2Scripts(), 64, rng.New(2000))
+		dlTime, _, _ = provision.FleetBoot(eng, 288, provision.DisklessProfile(), provision.Spider2Scripts(), 64, rng.New(2000))
 		eng2 := sim.NewEngine()
-		dfTime, _ = provision.FleetBoot(eng2, 288, provision.DiskFullProfile(), provision.Spider2Scripts(), 64, rng.New(2000))
+		dfTime, _, _ = provision.FleetBoot(eng2, 288, provision.DiskFullProfile(), provision.Spider2Scripts(), 64, rng.New(2000))
 		eng3 := sim.NewEngine()
 		dlConv = provision.Converge(eng3, 288, provision.Diskless, rng.New(2001))
 		eng4 := sim.NewEngine()

@@ -1,0 +1,88 @@
+// Command simlint runs the repository's determinism and hygiene
+// analyzer suite (internal/lint) over the module and prints one
+// diagnostic per violated invariant. It exits 1 when diagnostics were
+// reported, 2 on load failure, so verify.sh and CI gate on it.
+//
+// Usage:
+//
+//	simlint [-C dir] [-json] [-checks a,b,c] [-list]
+//
+// Diagnostics print as file:line:col: check: message. With -json they
+// print as a JSON array of {check,file,line,col,message} objects for
+// CI annotators and other tooling.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"spiderfs/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("simlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	root := fs.String("C", ".", "module root directory to analyze")
+	asJSON := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	sel := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := fs.Bool("list", false, "list available checks and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	checks := lint.Checks()
+	if *list {
+		for _, c := range checks {
+			fmt.Fprintf(stdout, "%-22s %s\n", c.Name, c.Doc)
+		}
+		return 0
+	}
+	if *sel != "" {
+		checks = checks[:0]
+		for _, name := range strings.Split(*sel, ",") {
+			c := lint.LookupCheck(strings.TrimSpace(name))
+			if c == nil {
+				fmt.Fprintf(stderr, "simlint: unknown check %q (try -list)\n", name)
+				return 2
+			}
+			checks = append(checks, c)
+		}
+	}
+
+	mod, err := lint.LoadModule(*root)
+	if err != nil {
+		fmt.Fprintf(stderr, "simlint: %v\n", err)
+		return 2
+	}
+	diags := mod.Run(checks)
+
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(stderr, "simlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if len(diags) > 0 {
+		if !*asJSON {
+			fmt.Fprintf(stderr, "simlint: %d diagnostic(s) in %d package(s)\n", len(diags), len(mod.Pkgs))
+		}
+		return 1
+	}
+	return 0
+}

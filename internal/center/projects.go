@@ -57,7 +57,7 @@ func (a Assignment) BandwidthImbalance() float64 { return loadImbalance(a.Bandwi
 // namespaces and Spider II's over two.
 func DistributeProjects(projects []Project, n int) Assignment {
 	if n < 1 {
-		panic("center: need at least one namespace")
+		panic("center: need at least one namespace") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	a := Assignment{
 		NamespaceOf:   map[string]int{},
@@ -67,7 +67,7 @@ func DistributeProjects(projects []Project, n int) Assignment {
 	var totCap, totBW float64
 	for _, p := range projects {
 		if p.CapacityBytes < 0 || p.BandwidthBps < 0 {
-			panic(fmt.Sprintf("center: project %q has negative requirements", p.Name))
+			panic(fmt.Sprintf("center: project %q has negative requirements", p.Name)) //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 		}
 		totCap += p.CapacityBytes
 		totBW += p.BandwidthBps
@@ -105,7 +105,7 @@ func DistributeProjects(projects []Project, n int) Assignment {
 // requirements.
 func RoundRobinProjects(projects []Project, n int) Assignment {
 	if n < 1 {
-		panic("center: need at least one namespace")
+		panic("center: need at least one namespace") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	a := Assignment{
 		NamespaceOf:   map[string]int{},

@@ -59,7 +59,7 @@ type Slot struct {
 // capacity allows.
 func ScheduleApps(apps []AppSignature, n int) map[string]Slot {
 	if n < 1 {
-		panic("center: scheduler needs at least one namespace")
+		panic("center: scheduler needs at least one namespace") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	out := make(map[string]Slot, len(apps))
 	ordered := append([]AppSignature(nil), apps...)

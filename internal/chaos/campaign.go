@@ -184,7 +184,7 @@ type campaign struct {
 // bit-identical report.
 func Run(cfg Config) *Report {
 	if cfg.Duration <= 0 {
-		panic("chaos: campaign needs a positive duration")
+		panic("chaos: campaign needs a positive duration") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	cc := center.New(center.Config{
 		Scale: cfg.Scale, Namespaces: cfg.Namespaces, Seed: cfg.Seed,

@@ -97,13 +97,13 @@ func NewGraph(eng *sim.Engine, ledger *Ledger) *Graph {
 // Dependencies must form a DAG (enforced by the add-before-use order).
 func (g *Graph) Add(name string, kind Kind, deps ...string) *Node {
 	if _, dup := g.nodes[name]; dup {
-		panic(fmt.Sprintf("chaos: duplicate node %q", name))
+		panic(fmt.Sprintf("chaos: duplicate node %q", name)) //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	n := &Node{Name: name, Kind: kind, causes: map[string]bool{}}
 	for _, d := range deps {
 		dn := g.nodes[d]
 		if dn == nil {
-			panic(fmt.Sprintf("chaos: node %q depends on unknown %q", name, d))
+			panic(fmt.Sprintf("chaos: node %q depends on unknown %q", name, d)) //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 		}
 		dn.dependents = append(dn.dependents, n)
 	}
@@ -135,7 +135,7 @@ func (g *Graph) Down(name string) bool {
 func (g *Graph) Fail(name string) {
 	n := g.nodes[name]
 	if n == nil {
-		panic(fmt.Sprintf("chaos: Fail unknown node %q", name))
+		panic(fmt.Sprintf("chaos: Fail unknown node %q", name)) //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	g.addCause(n, name, true)
 }
@@ -145,7 +145,7 @@ func (g *Graph) Fail(name string) {
 func (g *Graph) Recover(name string) {
 	n := g.nodes[name]
 	if n == nil {
-		panic(fmt.Sprintf("chaos: Recover unknown node %q", name))
+		panic(fmt.Sprintf("chaos: Recover unknown node %q", name)) //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	g.removeCause(n, name)
 }

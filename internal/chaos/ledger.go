@@ -51,7 +51,7 @@ func NewLedger(eng *sim.Engine) *Ledger {
 
 func (l *Ledger) register(name string, kind Kind) {
 	if _, dup := l.byName[name]; dup {
-		panic(fmt.Sprintf("chaos: ledger already tracks %q", name))
+		panic(fmt.Sprintf("chaos: ledger already tracks %q", name)) //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	s := &ComponentStats{Name: name, Kind: kind}
 	l.byName[name] = s

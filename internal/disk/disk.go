@@ -189,7 +189,7 @@ func (d *Disk) ServiceTime(op Op) sim.Time {
 // Submit queues op and calls done (may be nil) at completion.
 func (d *Disk) Submit(op Op, done func()) {
 	if op.Size <= 0 || op.LBA < 0 || op.LBA+op.Size > d.cfg.Capacity {
-		panic(fmt.Sprintf("disk: invalid op lba=%d size=%d cap=%d", op.LBA, op.Size, d.cfg.Capacity))
+		panic(fmt.Sprintf("disk: invalid op lba=%d size=%d cap=%d", op.LBA, op.Size, d.cfg.Capacity)) //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	st := d.ServiceTime(op)
 	d.lastEnd = op.LBA + op.Size

@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// simScoped reports whether p is one of the module's internal
+// simulation packages — the hermetic, deterministic substrate. The
+// analyzer itself is excluded: it must read the tree it checks.
+func simScoped(m *Module, p *Package) bool {
+	if p.Path == m.Path+"/internal/lint" || strings.HasPrefix(p.Path, m.Path+"/internal/lint/") {
+		return false
+	}
+	return strings.HasPrefix(p.Path, m.Path+"/internal/")
+}
+
+// corePkg reports whether p is one of the engine-adjacent packages
+// where every map iteration is banned outright, not just near sinks.
+func corePkg(m *Module, p *Package) bool {
+	for _, core := range []string{"/internal/sim", "/internal/netsim", "/internal/chaos"} {
+		full := m.Path + core
+		if p.Path == full || strings.HasPrefix(p.Path, full+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// bannedUse walks p's non-test files and reports every use of one of
+// the named package-level objects (or any object when names is nil)
+// from the given dependency package.
+func bannedUse(m *Module, p *Package, fromPath string, names map[string]bool, check, format string) []Diagnostic {
+	if p.Info == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != fromPath {
+				return true
+			}
+			fn, ok := obj.(*types.Func)
+			if !ok || recvTypeName(fn) != "" {
+				return true // type/const reference or method call, not a package-level function
+			}
+			if names != nil && !names[obj.Name()] {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Check:   check,
+				Pos:     m.Fset.Position(sel.Pos()),
+				Message: fmt.Sprintf(format, fromPath+"."+obj.Name()),
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+// checkNoWallclock bans wall-clock time sources in simulation packages.
+// Simulated experiments read time only from the sim.Engine clock; a
+// single time.Now would couple results to the host machine and break
+// bit-identical reruns (DESIGN.md determinism contract).
+var checkNoWallclock = &Check{
+	Name: "no-wallclock",
+	Doc:  "internal/ simulation packages must not read the wall clock (time.Now, time.Since, timers)",
+	run: func(m *Module, p *Package) []Diagnostic {
+		if !simScoped(m, p) {
+			return nil
+		}
+		banned := map[string]bool{
+			"Now": true, "Since": true, "Until": true, "Sleep": true,
+			"After": true, "AfterFunc": true, "Tick": true,
+			"NewTimer": true, "NewTicker": true,
+		}
+		return bannedUse(m, p, "time", banned, "no-wallclock",
+			"%s reads the wall clock; simulation code must use the sim.Engine clock")
+	},
+}
+
+// checkNoGlobalRand bans math/rand entirely. The global functions are
+// seeded per-process (nondeterministic across runs); even rand.New
+// bypasses the repo's named-stream discipline in internal/rng that
+// keeps sub-models statistically independent under refactoring.
+var checkNoGlobalRand = &Check{
+	Name: "no-global-rand",
+	Doc:  "math/rand is banned; draw randomness from seeded internal/rng streams",
+	run: func(m *Module, p *Package) []Diagnostic {
+		if p.Path == m.Path+"/internal/rng" {
+			return nil // the one package allowed to own raw generators
+		}
+		var diags []Diagnostic
+		for _, from := range []string{"math/rand", "math/rand/v2"} {
+			diags = append(diags, bannedUse(m, p, from, nil, "no-global-rand",
+				"%s bypasses the seeded internal/rng streams; derive a Source with rng.New/Split")...)
+		}
+		return diags
+	},
+}
+
+// checkOrderedMapRange is the PR 2 bug class, mechanized: iterating a
+// Go map yields a randomized order, so a map range anywhere it can
+// reach event scheduling or report/trace emission makes two identical
+// runs diverge. Inside the engine-adjacent packages (sim, netsim,
+// chaos) every map range is flagged; elsewhere a map range is flagged
+// when its enclosing function schedules engine events or writes
+// report/trace output, directly or one call hop away.
+var checkOrderedMapRange = &Check{
+	Name: "ordered-map-range",
+	Doc:  "no map iteration in engine packages or near event-scheduling/report-writing code",
+	run: func(m *Module, p *Package) []Diagnostic {
+		if p.Info == nil {
+			return nil
+		}
+		core := corePkg(m, p)
+		fs := m.factsWith(p)
+		var diags []Diagnostic
+		for _, file := range p.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := p.Info.Defs[fd.Name].(*types.Func)
+				reason, hazardous := "", false
+				if core {
+					reason, hazardous = "inside an engine-adjacent package", true
+				} else {
+					reason, hazardous = fs.hazard(obj)
+				}
+				if !hazardous {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					rs, ok := n.(*ast.RangeStmt)
+					if !ok {
+						return true
+					}
+					t := p.Info.TypeOf(rs.X)
+					if t == nil {
+						return true
+					}
+					if _, isMap := t.Underlying().(*types.Map); !isMap {
+						return true
+					}
+					diags = append(diags, Diagnostic{
+						Check: "ordered-map-range",
+						Pos:   m.Fset.Position(rs.Pos()),
+						Message: fmt.Sprintf(
+							"map iteration order is randomized and this function %s; iterate an ordered registry or sorted keys",
+							reason),
+					})
+					return true
+				})
+			}
+		}
+		return diags
+	},
+}
+
+// checkNoLibraryPanic enforces the PR 1 hardening: library code
+// reports failures as errors (counted, injectable, recoverable —
+// §IV-E treats operator-visible failure handling as a first-class
+// concern); panicking is reserved for main packages, tests, and
+// explicitly annotated can't-happen invariant assertions.
+var checkNoLibraryPanic = &Check{
+	Name: "no-library-panic",
+	Doc:  "no panic() in library code outside _test.go and main packages",
+	run: func(m *Module, p *Package) []Diagnostic {
+		if p.Info == nil || p.Name == "main" {
+			return nil
+		}
+		var diags []Diagnostic
+		for _, file := range p.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if b, ok := p.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+					return true
+				}
+				diags = append(diags, Diagnostic{
+					Check:   "no-library-panic",
+					Pos:     m.Fset.Position(call.Pos()),
+					Message: "library code must return errors, not panic; annotate provable invariant assertions with //simlint:allow no-library-panic <why>",
+				})
+				return true
+			})
+		}
+		return diags
+	},
+}
+
+// checkStdlibOnlyImports enforces the repo's stdlib-only rule in every
+// file, tests included: the only import paths allowed are standard
+// library packages and the module's own.
+var checkStdlibOnlyImports = &Check{
+	Name: "stdlib-only-imports",
+	Doc:  "only standard-library and module-local import paths are allowed",
+	run: func(m *Module, p *Package) []Diagnostic {
+		var diags []Diagnostic
+		files := append(append([]*ast.File(nil), p.Files...), p.TestFiles...)
+		for _, file := range files {
+			for _, imp := range file.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if modulePathMember(m.Path, path) || stdlibPath(path) {
+					continue
+				}
+				diags = append(diags, Diagnostic{
+					Check:   "stdlib-only-imports",
+					Pos:     m.Fset.Position(imp.Pos()),
+					Message: fmt.Sprintf("import %q is neither standard library nor module-local; the module is stdlib-only", path),
+				})
+			}
+		}
+		return diags
+	},
+}
+
+// checkEnvFreeSim keeps simulation packages hermetic: experiment
+// outcomes must be a function of configuration and seed alone, never
+// of the host environment or filesystem. I/O belongs at the edges
+// (cmd/ tools), passed in as io.Reader/io.Writer or parsed data.
+var checkEnvFreeSim = &Check{
+	Name: "env-free-sim",
+	Doc:  "internal/ simulation packages must not read the process environment or filesystem",
+	run: func(m *Module, p *Package) []Diagnostic {
+		if !simScoped(m, p) {
+			return nil
+		}
+		banned := map[string]bool{
+			"Getenv": true, "LookupEnv": true, "Environ": true,
+			"ReadFile": true, "WriteFile": true, "ReadDir": true,
+			"Open": true, "OpenFile": true, "Create": true,
+			"Getwd": true, "Hostname": true, "UserHomeDir": true,
+		}
+		return bannedUse(m, p, "os", banned, "env-free-sim",
+			"%s makes a simulation package non-hermetic; accept io.Reader/io.Writer or data from the caller")
+	},
+}

@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// facts records, for every function declaration analyzed so far, whether
+// it directly schedules engine events or writes report/trace output, and
+// which module-local functions it calls. ordered-map-range combines the
+// two for its one-hop transitive hazard test.
+type facts struct {
+	modpath string
+	direct  map[*types.Func]string        // func -> reason it is hazardous
+	calls   map[*types.Func][]*types.Func // module-local callees, AST order
+}
+
+// moduleFacts lazily builds facts over every module package.
+func (m *Module) moduleFacts() *facts {
+	if m.facts == nil {
+		m.facts = &facts{modpath: m.Path, direct: map[*types.Func]string{}, calls: map[*types.Func][]*types.Func{}}
+		for _, p := range m.Pkgs {
+			m.facts.addPackage(p)
+		}
+	}
+	return m.facts
+}
+
+// factsWith returns module facts extended with p (used for fixture
+// packages typechecked via TypecheckSource, which are not in m.Pkgs).
+func (m *Module) factsWith(p *Package) *facts {
+	base := m.moduleFacts()
+	for _, q := range m.Pkgs {
+		if q == p {
+			return base
+		}
+	}
+	ext := &facts{modpath: base.modpath, direct: map[*types.Func]string{}, calls: map[*types.Func][]*types.Func{}}
+	for k, v := range base.direct {
+		ext.direct[k] = v
+	}
+	for k, v := range base.calls {
+		ext.calls[k] = v
+	}
+	ext.addPackage(p)
+	return ext
+}
+
+func (f *facts) addPackage(p *Package) {
+	if p.Info == nil {
+		return
+	}
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := p.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			// Everything lexically inside the declaration counts as
+			// the declaration, closures included: a callback built
+			// here fires on behalf of this function.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeOf(p.Info, call)
+				if callee == nil {
+					return true
+				}
+				if reason, hazardous := markerCall(f.modpath, callee); hazardous {
+					if _, seen := f.direct[obj]; !seen {
+						f.direct[obj] = reason
+					}
+					return true
+				}
+				if pkg := callee.Pkg(); pkg != nil && modulePathMember(f.modpath, pkg.Path()) {
+					f.calls[obj] = append(f.calls[obj], callee)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// hazard reports whether fn directly schedules/writes, or does so one
+// call hop away through a module-local callee.
+func (f *facts) hazard(fn *types.Func) (string, bool) {
+	if fn == nil {
+		return "", false
+	}
+	if reason, ok := f.direct[fn]; ok {
+		return reason, true
+	}
+	for _, callee := range f.calls[fn] {
+		if reason, ok := f.direct[callee]; ok {
+			return reason + " (via " + callee.Name() + ")", true
+		}
+	}
+	return "", false
+}
+
+// calleeOf statically resolves the function object a call invokes, or
+// nil for dynamic calls (function values, interface methods).
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// markerCall classifies callee as event-scheduling or report/trace
+// writing. These are the sinks whose input order the determinism
+// contract freezes: the sim.Engine scheduling API, the trace package,
+// and the stream/report encoders library code emits artifacts through.
+func markerCall(modpath string, callee *types.Func) (string, bool) {
+	pkg := callee.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	recv := recvTypeName(callee)
+	switch pkg.Path() {
+	case modpath + "/internal/sim":
+		if recv == "Engine" {
+			switch callee.Name() {
+			case "At", "After", "Reschedule":
+				return "schedules engine events", true
+			}
+		}
+	case modpath + "/internal/trace":
+		return "writes trace output", true
+	case "fmt":
+		switch callee.Name() {
+		case "Fprint", "Fprintf", "Fprintln":
+			return "writes report output", true
+		}
+	case "encoding/json":
+		if recv == "Encoder" && callee.Name() == "Encode" {
+			return "writes report output", true
+		}
+		switch callee.Name() {
+		case "Marshal", "MarshalIndent":
+			return "writes report output", true
+		}
+	case "encoding/csv":
+		if recv == "Writer" {
+			switch callee.Name() {
+			case "Write", "WriteAll":
+				return "writes report output", true
+			}
+		}
+	}
+	return "", false
+}
+
+// recvTypeName returns the name of the receiver's named type (through
+// one pointer), or "" for plain functions.
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// modulePathMember reports whether path is the module or inside it.
+func modulePathMember(modpath, path string) bool {
+	return path == modpath || len(path) > len(modpath) && path[:len(modpath)] == modpath && path[len(modpath)] == '/'
+}

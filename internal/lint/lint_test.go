@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// moduleOnce caches the (srcimporter-backed) load of the real module;
+// loading pulls the full stdlib dependency closure from source, so the
+// tests share one instance.
+var (
+	moduleOnce sync.Once
+	moduleVal  *Module
+	moduleErr  error
+)
+
+func loadRepo(t *testing.T) *Module {
+	t.Helper()
+	moduleOnce.Do(func() {
+		moduleVal, moduleErr = LoadModule("../..")
+	})
+	if moduleErr != nil {
+		t.Fatalf("LoadModule: %v", moduleErr)
+	}
+	return moduleVal
+}
+
+// TestRepositoryIsClean is the tier-1 gate in test form: the committed
+// tree must produce zero diagnostics (violations are either fixed or
+// carry a reasoned //simlint:allow).
+func TestRepositoryIsClean(t *testing.T) {
+	m := loadRepo(t)
+	diags := m.Run(Checks())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(m.Pkgs) < 30 {
+		t.Fatalf("loaded only %d packages; loader is missing parts of the tree", len(m.Pkgs))
+	}
+}
+
+// TestCorpus runs every check over the want-marker corpus: each
+// testdata/src case is one package whose `// want check [check...]`
+// trailing comments enumerate the diagnostics that must fire on that
+// line — and every unmarked line must stay silent.
+func TestCorpus(t *testing.T) {
+	m := loadRepo(t)
+	cases, err := os.ReadDir("testdata/src")
+	if err != nil {
+		t.Fatalf("reading corpus: %v", err)
+	}
+	if len(cases) == 0 {
+		t.Fatal("empty corpus")
+	}
+	for _, c := range cases {
+		if !c.IsDir() {
+			continue
+		}
+		t.Run(c.Name(), func(t *testing.T) {
+			runCorpusCase(t, m, filepath.Join("testdata/src", c.Name()))
+		})
+	}
+}
+
+func runCorpusCase(t *testing.T, m *Module, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", dir, err)
+	}
+	files := map[string]string{}
+	importPath := "spiderfs/internal/" + filepath.Base(dir)
+	// want[file:line] is the multiset of check names expected there.
+	want := map[string][]string{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[name] = string(src)
+		for i, line := range strings.Split(string(src), "\n") {
+			if p, ok := strings.CutPrefix(line, "//simlint:importpath "); ok {
+				importPath = strings.TrimSpace(p)
+			}
+			if _, marks, ok := strings.Cut(line, "// want "); ok {
+				key := fmt.Sprintf("%s:%d", name, i+1)
+				want[key] = append(want[key], strings.Fields(marks)...)
+			}
+		}
+	}
+	pkg, err := m.TypecheckSource(importPath, files)
+	if err != nil {
+		t.Fatalf("TypecheckSource: %v", err)
+	}
+	got := map[string][]string{}
+	for _, d := range m.RunPackage(pkg, Checks()) {
+		key := fmt.Sprintf("%s:%d", d.File, d.Line)
+		got[key] = append(got[key], d.Check)
+	}
+	var keys []string
+	for k := range want {
+		keys = append(keys, k)
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		w, g := append([]string(nil), want[k]...), append([]string(nil), got[k]...)
+		sort.Strings(w)
+		sort.Strings(g)
+		if strings.Join(w, " ") != strings.Join(g, " ") {
+			t.Errorf("%s: want [%s], got [%s]", k, strings.Join(w, " "), strings.Join(g, " "))
+		}
+	}
+}
+
+// TestEveryCheckIsCorpusCovered guards the corpus itself: each of the
+// six checks must have at least one proven-failing marker and at least
+// one clean fixture package, so a regression that silently disables a
+// check cannot hide behind an empty corpus.
+func TestEveryCheckIsCorpusCovered(t *testing.T) {
+	fails := map[string]int{}
+	cleanDirs := 0
+	dirs, err := os.ReadDir("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		marked := false
+		entries, err := os.ReadDir(filepath.Join("testdata/src", d.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			src, err := os.ReadFile(filepath.Join("testdata/src", d.Name(), e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, line := range strings.Split(string(src), "\n") {
+				if _, marks, ok := strings.Cut(line, "// want "); ok {
+					marked = true
+					for _, name := range strings.Fields(marks) {
+						fails[name]++
+					}
+				}
+			}
+		}
+		if !marked {
+			cleanDirs++
+		}
+	}
+	for _, c := range Checks() {
+		if fails[c.Name] == 0 {
+			t.Errorf("check %s has no failing corpus case", c.Name)
+		}
+	}
+	if cleanDirs < len(Checks()) {
+		t.Errorf("only %d clean fixture packages for %d checks", cleanDirs, len(Checks()))
+	}
+}
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"//simlint:allow no-wallclock benchmark harness", "no-wallclock"},
+		{"//simlint:allow a,b reason text", "a b"},
+		{"//simlint:allow", ""},
+		{"// simlint:allow no-wallclock", ""}, // directives tolerate no space after //
+		{"// plain comment", ""},
+	}
+	for _, c := range cases {
+		got := strings.Join(parseAllow(c.in), " ")
+		if got != c.want {
+			t.Errorf("parseAllow(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStdlibPath(t *testing.T) {
+	for path, want := range map[string]bool{
+		"fmt":                   true,
+		"encoding/json":         true,
+		"github.com/acme/x":     false,
+		"golang.org/x/tools":    false,
+		"example.com":           false,
+		"container/heap":        true,
+		"gonum.org/v1/plot":     false,
+		"internal/whatever/sub": true,
+	} {
+		if got := stdlibPath(path); got != want {
+			t.Errorf("stdlibPath(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestModulePathParsing(t *testing.T) {
+	if got := modulePath("module spiderfs\n\ngo 1.22\n"); got != "spiderfs" {
+		t.Errorf("modulePath = %q", got)
+	}
+	if got := modulePath("// junk\n"); got != "" {
+		t.Errorf("modulePath on junk = %q", got)
+	}
+}
+
+func TestJSONShape(t *testing.T) {
+	d := Diagnostic{Check: "no-wallclock", Message: "m"}
+	d.File, d.Line, d.Col = "a.go", 3, 7
+	if s := d.String(); s != "a.go:3:7: no-wallclock: m" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+// TestCheckDocs keeps the -list output (and DESIGN.md's invariant
+// table) honest: every check carries a stable name and a doc line.
+func TestCheckDocs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Checks() {
+		if c.Name == "" || c.Doc == "" {
+			t.Errorf("check %+v missing name or doc", c)
+		}
+		if seen[c.Name] {
+			t.Errorf("duplicate check name %s", c.Name)
+		}
+		seen[c.Name] = true
+		if LookupCheck(c.Name) != c {
+			t.Errorf("LookupCheck(%s) does not round-trip", c.Name)
+		}
+	}
+	if LookupCheck("no-such-check") != nil {
+		t.Error("LookupCheck should return nil for unknown names")
+	}
+}

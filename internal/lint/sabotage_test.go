@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// The PR 2 regression, reconstructed in memory: a tracker that
+// schedules completion events straight out of a Go map range. Same
+// model, same seed — but the engine sees a different scheduling order
+// every run, so traces diverge. simlint must refuse it.
+const sabotageSrc = `package sabotage
+
+import "spiderfs/internal/sim"
+
+type Tracker struct {
+	eng     *sim.Engine
+	pending map[string]sim.Time
+}
+
+func (t *Tracker) ScheduleCompletions(done func(string)) {
+	for name, at := range t.pending {
+		n := name
+		t.eng.At(at, func() { done(n) })
+	}
+}
+`
+
+// The ordered-registry rewrite PR 2 shipped: an insertion-ordered
+// slice is the scheduling source; the map (if any) is only a lookup
+// index. Zero diagnostics.
+const orderedSrc = `package sabotage
+
+import "spiderfs/internal/sim"
+
+type item struct {
+	name string
+	at   sim.Time
+}
+
+type Tracker struct {
+	eng   *sim.Engine
+	order []item            // insertion-ordered registry drives scheduling
+	index map[string]int    // lookup only, never ranged
+}
+
+func (t *Tracker) ScheduleCompletions(done func(string)) {
+	for _, it := range t.order {
+		n := it.name
+		t.eng.At(it.at, func() { done(n) })
+	}
+}
+`
+
+// TestSabotageMapRangeScheduling mirrors the PR 2 sabotage-validation
+// pattern: the map-range version of the completion scheduler must trip
+// ordered-map-range, and the ordered-registry rewrite must be clean —
+// so reverting that fix can never land silently again.
+func TestSabotageMapRangeScheduling(t *testing.T) {
+	m := loadRepo(t)
+
+	pkg, err := m.TypecheckSource("spiderfs/internal/sabotage", map[string]string{
+		"sabotage.go": sabotageSrc,
+	})
+	if err != nil {
+		t.Fatalf("TypecheckSource: %v", err)
+	}
+	diags := m.RunPackage(pkg, Checks())
+	if len(diags) != 1 {
+		t.Fatalf("sabotage package: got %d diagnostics %v, want exactly 1", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Check != "ordered-map-range" {
+		t.Fatalf("check = %s, want ordered-map-range", d.Check)
+	}
+	if !strings.Contains(d.Message, "schedules engine events") {
+		t.Fatalf("message should name the scheduling hazard: %q", d.Message)
+	}
+
+	fixed, err := m.TypecheckSource("spiderfs/internal/sabotage", map[string]string{
+		"ordered.go": orderedSrc,
+	})
+	if err != nil {
+		t.Fatalf("TypecheckSource(fixed): %v", err)
+	}
+	if diags := m.RunPackage(fixed, Checks()); len(diags) != 0 {
+		t.Fatalf("ordered rewrite should be clean, got %v", diags)
+	}
+}
+
+// TestSabotageSingleCheckSelection proves checks run independently: the
+// same sabotage source is silent when only an unrelated check runs.
+func TestSabotageSingleCheckSelection(t *testing.T) {
+	m := loadRepo(t)
+	pkg, err := m.TypecheckSource("spiderfs/internal/sabotage", map[string]string{
+		"sabotage.go": sabotageSrc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := m.RunPackage(pkg, []*Check{checkNoWallclock}); len(diags) != 0 {
+		t.Fatalf("no-wallclock alone should be silent here, got %v", diags)
+	}
+	if diags := m.RunPackage(pkg, []*Check{checkOrderedMapRange}); len(diags) != 1 {
+		t.Fatalf("ordered-map-range alone should fire once, got %v", diags)
+	}
+}

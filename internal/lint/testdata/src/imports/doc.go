@@ -1,0 +1,2 @@
+// Package imports hosts the stdlib-only-imports sabotage fixture.
+package imports

@@ -1,0 +1,16 @@
+// Clean fixture: stdlib and module-local imports only.
+package importsok
+
+import (
+	"sort"
+
+	"spiderfs/internal/sim"
+)
+
+func horizon(ts []sim.Time) sim.Time {
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	if len(ts) == 0 {
+		return 0
+	}
+	return ts[len(ts)-1]
+}

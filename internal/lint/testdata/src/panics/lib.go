@@ -1,0 +1,18 @@
+// Sabotage fixture: panics in library code.
+package panics
+
+import "fmt"
+
+func Divide(a, b int) int {
+	if b == 0 {
+		panic("divide by zero") // want no-library-panic
+	}
+	return a / b
+}
+
+func Parse(s string) int {
+	if s == "" {
+		panic(fmt.Errorf("empty input")) // want no-library-panic
+	}
+	return len(s)
+}

@@ -1,0 +1,9 @@
+//simlint:importpath spiderfs/cmd/tcase
+
+// Clean fixture: main packages may panic — a CLI crashing loudly on a
+// bad flag is the intended failure mode.
+package main
+
+func main() {
+	panic("usage: tcase <arg>")
+}

@@ -79,7 +79,7 @@ func TestNamespace() Params {
 // OSTs, OSSes, and MDS, wired together on eng.
 func Build(eng *sim.Engine, p Params, src *rng.Source) *FS {
 	if p.NumSSU < 1 || p.OSTsPerSSU < 1 || p.OSSPerSSU < 1 {
-		panic("lustre: invalid namespace shape")
+		panic("lustre: invalid namespace shape") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	var osts []*OST
 	var osses []*OSS

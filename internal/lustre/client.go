@@ -187,7 +187,7 @@ func (s *stream) issue(size int64) {
 // nil) receives the bytes acknowledged.
 func (c *Client) WriteStream(f *File, total, xfer int64, done func(int64)) {
 	if xfer <= 0 || total <= 0 {
-		panic("lustre: WriteStream needs positive sizes")
+		panic("lustre: WriteStream needs positive sizes") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	s := &stream{c: c, f: f, xfer: xfer, total: total, write: true, done: done}
 	s.pump()
@@ -197,7 +197,7 @@ func (c *Client) WriteStream(f *File, total, xfer int64, done func(int64)) {
 // mode, as the paper's IOR runs used), then reports bytes acknowledged.
 func (c *Client) WriteUntil(f *File, deadline sim.Time, xfer int64, done func(int64)) {
 	if xfer <= 0 {
-		panic("lustre: WriteUntil needs positive xfer")
+		panic("lustre: WriteUntil needs positive xfer") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	s := &stream{c: c, f: f, xfer: xfer, deadline: deadline, hasDeadline: true, write: true, done: done}
 	s.pump()
@@ -207,7 +207,7 @@ func (c *Client) WriteUntil(f *File, deadline sim.Time, xfer int64, done func(in
 // pattern (data analytics) versus streaming.
 func (c *Client) ReadStream(f *File, total, xfer int64, random bool, done func(int64)) {
 	if xfer <= 0 || total <= 0 {
-		panic("lustre: ReadStream needs positive sizes")
+		panic("lustre: ReadStream needs positive sizes") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	s := &stream{c: c, f: f, xfer: xfer, total: total, random: random, done: done}
 	s.pump()
@@ -216,7 +216,7 @@ func (c *Client) ReadStream(f *File, total, xfer int64, random bool, done func(i
 // ReadUntil reads until the deadline (stonewall), reporting bytes read.
 func (c *Client) ReadUntil(f *File, deadline sim.Time, xfer int64, random bool, done func(int64)) {
 	if xfer <= 0 {
-		panic("lustre: ReadUntil needs positive xfer")
+		panic("lustre: ReadUntil needs positive xfer") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	s := &stream{c: c, f: f, xfer: xfer, deadline: deadline, hasDeadline: true, random: random, done: done}
 	s.pump()

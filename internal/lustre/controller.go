@@ -102,7 +102,7 @@ func (c *Controller) serviceTime(size int64) sim.Time {
 // flush).
 func (c *Controller) AdmitWrite(size int64, done func()) {
 	if size <= 0 {
-		panic("lustre: controller write of non-positive size")
+		panic("lustre: controller write of non-positive size") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	if c.dirty+size > c.cfg.CacheBytes && c.dirty > 0 {
 		c.CacheStalls++
@@ -122,7 +122,7 @@ func (c *Controller) AdmitWrite(size int64, done func()) {
 // caller chains the disk read after this completes).
 func (c *Controller) ServiceRead(size int64, done func()) {
 	if size <= 0 {
-		panic("lustre: controller read of non-positive size")
+		panic("lustre: controller read of non-positive size") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	c.RPCs++
 	c.srv.Submit(c.serviceTime(size), done)

@@ -73,7 +73,7 @@ type FS struct {
 // OST to its serving OSS.
 func NewFS(eng *sim.Engine, name string, mds *MDS, osts []*OST, osses []*OSS, ctrls []*Controller, ostOSS []int) *FS {
 	if len(ostOSS) != len(osts) {
-		panic("lustre: ostOSS mapping length mismatch")
+		panic("lustre: ostOSS mapping length mismatch") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	return &FS{
 		Name: name, eng: eng, MDS: mds, MDTs: []*MDS{mds}, OSTs: osts, OSSes: osses, Ctrls: ctrls,
@@ -234,12 +234,12 @@ func (fs *FS) Create(path string, stripeCount int, done func(*File)) {
 func (fs *FS) CreateOn(path string, osts []int, done func(*File)) {
 	parts := splitPath(path)
 	if len(parts) == 0 {
-		panic("lustre: create with empty path")
+		panic("lustre: create with empty path") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	dir, _ := fs.lookupDir(parts[:len(parts)-1], true)
 	name := parts[len(parts)-1]
 	if _, exists := dir.Files[name]; exists {
-		panic(fmt.Sprintf("lustre: file %q already exists", path))
+		panic(fmt.Sprintf("lustre: file %q already exists", path)) //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	f := &File{
 		Path:       path,
@@ -251,7 +251,7 @@ func (fs *FS) CreateOn(path string, osts []int, done func(*File)) {
 	}
 	for _, oi := range osts {
 		if oi < 0 || oi >= len(fs.OSTs) {
-			panic("lustre: stripe OST index out of range")
+			panic("lustre: stripe OST index out of range") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 		}
 		f.Objects = append(f.Objects, fs.OSTs[oi].NewObject())
 	}
@@ -268,7 +268,7 @@ func (fs *FS) CreateOn(path string, osts []int, done func(*File)) {
 func (fs *FS) Open(path string, done func(*File)) {
 	parts := splitPath(path)
 	if len(parts) == 0 {
-		panic("lustre: open with empty path")
+		panic("lustre: open with empty path") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	dir, ok := fs.lookupDir(parts[:len(parts)-1], false)
 	var f *File
@@ -302,12 +302,12 @@ func (fs *FS) Unlink(path string, done func()) {
 	parts := splitPath(path)
 	dir, ok := fs.lookupDir(parts[:len(parts)-1], false)
 	if !ok {
-		panic(fmt.Sprintf("lustre: unlink missing dir for %q", path))
+		panic(fmt.Sprintf("lustre: unlink missing dir for %q", path)) //simlint:allow no-library-panic caller-contract assertion: unlinking a path that was never created
 	}
 	name := parts[len(parts)-1]
 	f, ok := dir.Files[name]
 	if !ok {
-		panic(fmt.Sprintf("lustre: unlink missing file %q", path))
+		panic(fmt.Sprintf("lustre: unlink missing file %q", path)) //simlint:allow no-library-panic caller-contract assertion: unlinking a path that was never created
 	}
 	delete(dir.Files, name)
 	fs.NumFiles--

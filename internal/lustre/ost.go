@@ -96,7 +96,7 @@ func (o *OST) Fill() float64 { return float64(o.used) / float64(o.Capacity()) }
 // performing I/O (used to study fill-level degradation, Lesson 10).
 func (o *OST) SetFill(frac float64) {
 	if frac < 0 || frac > 1 {
-		panic("lustre: fill fraction out of range")
+		panic("lustre: fill fraction out of range") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	o.used = int64(frac * float64(o.Capacity()))
 	o.allocPtr = o.used
@@ -137,7 +137,7 @@ func (o *OST) NewObject() *Object { return &Object{ost: o} }
 // metadata shape matters.
 func (obj *Object) Preload(n int64) {
 	if n < 0 {
-		panic("lustre: negative preload")
+		panic("lustre: negative preload") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	obj.Size += n
 	obj.ost.used += n
@@ -225,7 +225,7 @@ func (o *OST) flushToDisk(lba, n int64, after func()) {
 func (obj *Object) Write(size int64, done func()) {
 	o := obj.ost
 	if size <= 0 {
-		panic("lustre: object write of non-positive size")
+		panic("lustre: object write of non-positive size") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	o.WriteRPCs++
 	o.ctrl.AdmitWrite(size, func() {
@@ -254,7 +254,7 @@ func (obj *Object) Write(size int64, done func()) {
 func (obj *Object) WriteSync(size int64, random bool, done func()) {
 	o := obj.ost
 	if size <= 0 {
-		panic("lustre: object write of non-positive size")
+		panic("lustre: object write of non-positive size") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	o.WriteRPCs++
 	o.ctrl.AdmitWrite(size, func() {
@@ -361,7 +361,7 @@ func (obj *Object) Flush(done func()) {
 func (obj *Object) Read(size int64, random bool, done func()) {
 	o := obj.ost
 	if size <= 0 {
-		panic("lustre: object read of non-positive size")
+		panic("lustre: object read of non-positive size") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	o.ReadRPCs++
 	o.ctrl.ServiceRead(size, func() {

@@ -78,7 +78,7 @@ func NewScheduler(eng *sim.Engine) *Scheduler {
 // Add registers a check. Call before Start.
 func (s *Scheduler) Add(c Check) {
 	if c.Interval <= 0 || c.Fn == nil || c.Name == "" {
-		panic("monitor: invalid check")
+		panic("monitor: invalid check") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	s.checks = append(s.checks, c)
 }
@@ -174,7 +174,7 @@ type Coalescer struct {
 // NewCoalescer builds a coalescer with the given association window.
 func NewCoalescer(window sim.Time) *Coalescer {
 	if window <= 0 {
-		panic("monitor: coalescer window must be positive")
+		panic("monitor: coalescer window must be positive") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	return &Coalescer{Window: window}
 }

@@ -95,7 +95,7 @@ func (n *mapNetwork) advance(f *mapFlow) {
 // nondeterminism the ordered registries fix — and unconditionally
 // cancels and reschedules every completion event.
 func (n *mapNetwork) reassign(flows map[*mapFlow]struct{}) {
-	for f := range flows {
+	for f := range flows { //simlint:allow ordered-map-range deliberately frozen nondeterministic baseline the ordered registries are measured against
 		n.advance(f)
 		rate := -1.0
 		for _, l := range f.path {

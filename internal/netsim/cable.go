@@ -15,7 +15,7 @@ import "sort"
 // against the historically available bandwidth.
 func (n *Network) Degrade(l *Link, frac float64) {
 	if frac <= 0 || frac > 1 {
-		panic("netsim: degrade fraction out of range")
+		panic("netsim: degrade fraction out of range") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	if l.nominal == 0 {
 		l.nominal = l.Cap

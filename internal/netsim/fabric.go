@@ -224,7 +224,7 @@ const (
 func (f *Fabric) ClientPath(c topology.Coord, oss int, mode RouteMode, src *rng.Source) []*Link {
 	rid := f.selectRouter(c, f.ossLeaf[oss], mode, src, nil)
 	if rid < 0 {
-		panic("netsim: no eligible router")
+		panic("netsim: no eligible router") //simlint:allow no-library-panic healthy-fabric query; failure-aware sends go through Send, which counts drops
 	}
 	return f.pathVia(c, oss, rid)
 }

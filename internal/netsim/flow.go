@@ -177,7 +177,7 @@ func (n *Network) Sync() {
 // NewLink creates and registers a link.
 func (n *Network) NewLink(name string, capBps float64, latency sim.Time) *Link {
 	if capBps <= 0 {
-		panic(fmt.Sprintf("netsim: link %q with non-positive capacity", name))
+		panic(fmt.Sprintf("netsim: link %q with non-positive capacity", name)) //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	l := &Link{Name: name, Cap: capBps, Latency: latency, capSince: n.eng.Now()}
 	n.links = append(n.links, l)
@@ -191,7 +191,7 @@ func (n *Network) Links() []*Link { return n.links }
 // (may be nil) at completion. An empty path completes after zero time.
 func (n *Network) StartFlow(path []*Link, size float64, done func()) *Flow {
 	if size <= 0 {
-		panic("netsim: flow with non-positive size")
+		panic("netsim: flow with non-positive size") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	n.FlowsStarted++
 	f := &Flow{path: path, size: size, remaining: size, lastUpdate: n.eng.Now(),

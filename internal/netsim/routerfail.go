@@ -77,7 +77,7 @@ func (f *Fabric) selectRouter(c topology.Coord, destLeaf int, mode RouteMode, sr
 		}
 		return -1
 	default:
-		panic("netsim: unknown route mode")
+		panic("netsim: unknown route mode") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 }
 

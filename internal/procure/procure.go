@@ -19,7 +19,7 @@ import (
 // II's 1 TB/s target (600 TB, 75%, 6 min).
 func CheckpointBandwidth(memBytes float64, fraction float64, window sim.Time) float64 {
 	if memBytes <= 0 || fraction <= 0 || fraction > 1 || window <= 0 {
-		panic("procure: invalid checkpoint sizing inputs")
+		panic("procure: invalid checkpoint sizing inputs") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	return memBytes * fraction / window.Seconds()
 }
@@ -29,7 +29,7 @@ func CheckpointBandwidth(memBytes float64, fraction float64, window sim.Time) fl
 // ratio (20-25% on NL-SAS with 1 MiB blocks).
 func RandomDerate(seqBps, ratio float64) float64 {
 	if ratio <= 0 || ratio > 1 {
-		panic("procure: derate ratio out of range")
+		panic("procure: derate ratio out of range") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	return seqBps * ratio
 }

@@ -102,12 +102,19 @@ type BootResult struct {
 }
 
 // BootNode simulates one boot: firmware, root (with retry on failure),
-// ordered config scripts, then services. Scripts must validate.
-func BootNode(eng *sim.Engine, profile BootProfile, scripts []ConfigScript, src *rng.Source, done func(BootResult)) {
+// ordered config scripts, then services. It returns the validation
+// error without scheduling anything when the scripts do not validate.
+func BootNode(eng *sim.Engine, profile BootProfile, scripts []ConfigScript, src *rng.Source, done func(BootResult)) error {
 	ordered, err := ValidateScripts(scripts)
 	if err != nil {
-		panic(err)
+		return err
 	}
+	bootOrdered(eng, profile, ordered, src, done)
+	return nil
+}
+
+// bootOrdered schedules one boot of pre-validated, pre-sorted scripts.
+func bootOrdered(eng *sim.Engine, profile BootProfile, ordered []ConfigScript, src *rng.Source, done func(BootResult)) {
 	var res BootResult
 	start := eng.Now()
 	var rootPhase func()
@@ -133,7 +140,12 @@ func BootNode(eng *sim.Engine, profile BootProfile, scripts []ConfigScript, src 
 
 // FleetBoot boots n nodes concurrently (bounded by parallel, the
 // console/dhcp capacity) and reports the time to full fleet readiness.
-func FleetBoot(eng *sim.Engine, n int, profile BootProfile, scripts []ConfigScript, parallel int, src *rng.Source) (total sim.Time, retries int) {
+// Scripts are validated once up front; an invalid set boots nothing.
+func FleetBoot(eng *sim.Engine, n int, profile BootProfile, scripts []ConfigScript, parallel int, src *rng.Source) (total sim.Time, retries int, err error) {
+	ordered, err := ValidateScripts(scripts)
+	if err != nil {
+		return 0, 0, err
+	}
 	if parallel < 1 {
 		parallel = 1
 	}
@@ -146,7 +158,7 @@ func FleetBoot(eng *sim.Engine, n int, profile BootProfile, scripts []ConfigScri
 			return
 		}
 		launched++
-		BootNode(eng, profile, scripts, src.Split(fmt.Sprintf("node-%d", launched)), func(r BootResult) {
+		bootOrdered(eng, profile, ordered, src.Split(fmt.Sprintf("node-%d", launched)), func(r BootResult) {
 			retries += r.Retries
 			remaining--
 			launch()
@@ -156,7 +168,7 @@ func FleetBoot(eng *sim.Engine, n int, profile BootProfile, scripts []ConfigScri
 		launch()
 	}
 	eng.Run()
-	return eng.Now() - start, retries
+	return eng.Now() - start, retries, nil
 }
 
 // NodeCost returns the per-node hardware cost under each model: a
@@ -185,9 +197,10 @@ func Converge(eng *sim.Engine, n int, kind NodeKind, src *rng.Source) ConvergeRe
 	switch kind {
 	case Diskless:
 		imageBuild := 4 * sim.Minute
-		scripts := Spider2Scripts()
+		// Spider2Scripts always validates; boot with the ordered set.
+		ordered, _ := ValidateScripts(Spider2Scripts())
 		eng.After(imageBuild, func() {
-			FleetBootAsync(eng, n, DisklessProfile(), scripts, 64, src, func(retries int) {
+			fleetAsyncOrdered(eng, n, DisklessProfile(), ordered, 64, src, func(retries int) {
 				res.Failures = retries
 			})
 		})
@@ -207,7 +220,7 @@ func Converge(eng *sim.Engine, n int, kind NodeKind, src *rng.Source) ConvergeRe
 					retry()
 					return
 				}
-				BootNode(eng, DiskFullProfile(), nil, src.Split(fmt.Sprintf("cvg-%d", launched)), func(r BootResult) {
+				bootOrdered(eng, DiskFullProfile(), nil, src.Split(fmt.Sprintf("cvg-%d", launched)), func(r BootResult) {
 					res.Failures += r.Retries
 					launch()
 				})
@@ -233,8 +246,17 @@ func Converge(eng *sim.Engine, n int, kind NodeKind, src *rng.Source) ConvergeRe
 
 // FleetBootAsync is FleetBoot without the engine drain, for embedding in
 // larger scenarios; done receives the total retry count when the fleet
-// is up.
-func FleetBootAsync(eng *sim.Engine, n int, profile BootProfile, scripts []ConfigScript, parallel int, src *rng.Source, done func(retries int)) {
+// is up. An invalid script set is reported without scheduling anything.
+func FleetBootAsync(eng *sim.Engine, n int, profile BootProfile, scripts []ConfigScript, parallel int, src *rng.Source, done func(retries int)) error {
+	ordered, err := ValidateScripts(scripts)
+	if err != nil {
+		return err
+	}
+	fleetAsyncOrdered(eng, n, profile, ordered, parallel, src, done)
+	return nil
+}
+
+func fleetAsyncOrdered(eng *sim.Engine, n int, profile BootProfile, ordered []ConfigScript, parallel int, src *rng.Source, done func(retries int)) {
 	if parallel < 1 {
 		parallel = 1
 	}
@@ -247,7 +269,7 @@ func FleetBootAsync(eng *sim.Engine, n int, profile BootProfile, scripts []Confi
 			return
 		}
 		launched++
-		BootNode(eng, profile, scripts, src.Split(fmt.Sprintf("anode-%d", launched)), func(r BootResult) {
+		bootOrdered(eng, profile, ordered, src.Split(fmt.Sprintf("anode-%d", launched)), func(r BootResult) {
 			retries += r.Retries
 			remaining--
 			if remaining == 0 {

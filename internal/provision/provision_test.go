@@ -36,7 +36,9 @@ func TestBootNodeDiskless(t *testing.T) {
 	eng := sim.NewEngine()
 	src := rng.New(1)
 	var res BootResult
-	BootNode(eng, DisklessProfile(), Spider2Scripts(), src, func(r BootResult) { res = r })
+	if err := BootNode(eng, DisklessProfile(), Spider2Scripts(), src, func(r BootResult) { res = r }); err != nil {
+		t.Fatalf("BootNode: %v", err)
+	}
 	eng.Run()
 	// 45 + 20 + 9 (scripts) + 15 = 89 s.
 	if res.Duration != 89*sim.Second {
@@ -51,7 +53,9 @@ func TestDisklessBootsFasterThanDiskFull(t *testing.T) {
 	boot := func(p BootProfile, seed uint64) sim.Time {
 		eng := sim.NewEngine()
 		var res BootResult
-		BootNode(eng, p, Spider2Scripts(), rng.New(seed), func(r BootResult) { res = r })
+		if err := BootNode(eng, p, Spider2Scripts(), rng.New(seed), func(r BootResult) { res = r }); err != nil {
+			t.Fatalf("BootNode: %v", err)
+		}
 		eng.Run()
 		return res.Duration
 	}
@@ -64,9 +68,15 @@ func TestDisklessBootsFasterThanDiskFull(t *testing.T) {
 
 func TestFleetBootMTTR(t *testing.T) {
 	eng := sim.NewEngine()
-	dlTime, dlRetries := FleetBoot(eng, 288, DisklessProfile(), Spider2Scripts(), 64, rng.New(3))
+	dlTime, dlRetries, err := FleetBoot(eng, 288, DisklessProfile(), Spider2Scripts(), 64, rng.New(3))
+	if err != nil {
+		t.Fatalf("FleetBoot: %v", err)
+	}
 	eng2 := sim.NewEngine()
-	dfTime, dfRetries := FleetBoot(eng2, 288, DiskFullProfile(), Spider2Scripts(), 64, rng.New(3))
+	dfTime, dfRetries, err := FleetBoot(eng2, 288, DiskFullProfile(), Spider2Scripts(), 64, rng.New(3))
+	if err != nil {
+		t.Fatalf("FleetBoot: %v", err)
+	}
 	if dlTime >= dfTime {
 		t.Fatalf("diskless fleet (%v) should beat disk-full (%v)", dlTime, dfTime)
 	}
@@ -100,13 +110,23 @@ func TestConvergeDisklessFasterAndCleaner(t *testing.T) {
 	}
 }
 
-func TestBootNodeInvalidScriptsPanics(t *testing.T) {
+func TestBootNodeInvalidScriptsErrors(t *testing.T) {
 	eng := sim.NewEngine()
 	bad := []ConfigScript{{Order: 1, Name: "x", Needs: []string{"missing"}}}
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
-	BootNode(eng, DisklessProfile(), bad, rng.New(5), nil)
+	err := BootNode(eng, DisklessProfile(), bad, rng.New(5), nil)
+	if err == nil {
+		t.Fatal("expected validation error")
+	}
+	if !strings.Contains(err.Error(), "x") {
+		t.Fatalf("error should name the script: %v", err)
+	}
+	if eng.Pending() != 0 {
+		t.Fatalf("invalid scripts must schedule nothing, %d pending", eng.Pending())
+	}
+	if _, _, err := FleetBoot(eng, 4, DisklessProfile(), bad, 2, rng.New(5)); err == nil {
+		t.Fatal("FleetBoot should propagate the validation error")
+	}
+	if err := FleetBootAsync(eng, 4, DisklessProfile(), bad, 2, rng.New(5), func(int) {}); err == nil {
+		t.Fatal("FleetBootAsync should propagate the validation error")
+	}
 }

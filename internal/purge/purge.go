@@ -54,7 +54,7 @@ type Purger struct {
 // single pass.
 func New(fs *lustre.FS, policy Policy) *Purger {
 	if policy.MaxAge <= 0 || policy.Concurrency <= 0 {
-		panic("purge: invalid policy")
+		panic("purge: invalid policy") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	return &Purger{fs: fs, policy: policy}
 }
@@ -124,7 +124,7 @@ func (p *Purger) Sweep(done func(SweepReport)) {
 // Start schedules periodic sweeps; Stop cancels them.
 func (p *Purger) Start() {
 	if p.policy.Interval <= 0 {
-		panic("purge: Start needs a positive interval")
+		panic("purge: Start needs a positive interval") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	p.schedule()
 }

@@ -221,7 +221,7 @@ type ThinFS struct {
 // NewThinFS reserves sliceSize bytes on each group.
 func NewThinFS(groups []*raid.Group, sliceSize int64) *ThinFS {
 	if sliceSize <= 0 {
-		panic("qa: thin slice must be positive")
+		panic("qa: thin slice must be positive") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	return &ThinFS{Groups: groups, SliceSize: sliceSize}
 }

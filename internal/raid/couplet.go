@@ -81,7 +81,7 @@ func NewCouplet(eng *sim.Engine, id int, layout EnclosureLayout, groups []*Group
 	want := layout.Enclosures * layout.PerEnclosure
 	for _, g := range groups {
 		if g.Config().Width() != want {
-			panic(fmt.Sprintf("raid: layout houses %d members, group has %d", want, g.Config().Width()))
+			panic(fmt.Sprintf("raid: layout houses %d members, group has %d", want, g.Config().Width())) //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 		}
 	}
 	em := make([][]int, layout.Enclosures)
@@ -109,7 +109,7 @@ func (c *Couplet) Layout() EnclosureLayout { return c.layout }
 // Failed (unrecoverable).
 func (c *Couplet) FailEnclosure(e int) int {
 	if e < 0 || e >= c.layout.Enclosures {
-		panic("raid: bad enclosure index")
+		panic("raid: bad enclosure index") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	failedGroups := 0
 	for _, g := range c.groups {

@@ -104,7 +104,7 @@ type Group struct {
 // equal cfg.Width().
 func NewGroup(eng *sim.Engine, id int, cfg GroupConfig, members []*disk.Disk) *Group {
 	if len(members) != cfg.Width() {
-		panic(fmt.Sprintf("raid: group wants %d disks, got %d", cfg.Width(), len(members)))
+		panic(fmt.Sprintf("raid: group wants %d disks, got %d", cfg.Width(), len(members))) //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	return &Group{
 		ID:           id,
@@ -152,7 +152,7 @@ func (g *Group) chunkLocation(stripe int64, dataIdx int) (member int) {
 		}
 		seen++
 	}
-	panic("raid: dataIdx out of range")
+	panic("raid: dataIdx out of range") //simlint:allow no-library-panic can't-happen internal invariant: parity rotation covers every index
 }
 
 // parityLocations returns the members holding the two parity chunks of a
@@ -271,7 +271,7 @@ func (g *Group) ioError(done func()) {
 // forEachStripe decomposes [off, off+size) into per-stripe chunk ranges.
 func (g *Group) forEachStripe(off, size int64, fn func(stripe, chunkFirst, chunkLast int64)) {
 	if off < 0 || size <= 0 || off+size > g.Capacity() {
-		panic(fmt.Sprintf("raid: invalid extent off=%d size=%d cap=%d", off, size, g.Capacity()))
+		panic(fmt.Sprintf("raid: invalid extent off=%d size=%d cap=%d", off, size, g.Capacity())) //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	sds := g.cfg.StripeDataSize()
 	end := off + size
@@ -305,7 +305,7 @@ func (g *Group) stripeDegraded(stripe int64) bool {
 // transition the group to Failed and count lost stripes.
 func (g *Group) FailDisk(m int) State {
 	if m < 0 || m >= g.cfg.Width() {
-		panic("raid: bad member index")
+		panic("raid: bad member index") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	if g.offline[m] {
 		return g.state
@@ -333,10 +333,10 @@ func (g *Group) FailDisk(m int) State {
 // the rebuild completes.
 func (g *Group) StartRebuild(m int, replacement *disk.Disk, done func()) {
 	if !g.offline[m] {
-		panic("raid: rebuilding an online member")
+		panic("raid: rebuilding an online member") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	if g.state == Failed {
-		panic("raid: rebuild on failed group")
+		panic("raid: rebuild on failed group") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	g.dsks[m] = replacement
 	g.state = Rebuilding

@@ -71,7 +71,7 @@ func (r *Source) Float64() float64 {
 // Intn returns a uniform value in [0, n). It panics if n <= 0.
 func (r *Source) Intn(n int) int {
 	if n <= 0 {
-		panic("rng: Intn with non-positive n")
+		panic("rng: Intn with non-positive n") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	return int(r.Uint64() % uint64(n)) // negligible modulo bias for model use
 }
@@ -79,7 +79,7 @@ func (r *Source) Intn(n int) int {
 // Int63n returns a uniform value in [0, n). It panics if n <= 0.
 func (r *Source) Int63n(n int64) int64 {
 	if n <= 0 {
-		panic("rng: Int63n with non-positive n")
+		panic("rng: Int63n with non-positive n") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	return int64(r.Uint64() % uint64(n))
 }
@@ -109,7 +109,7 @@ func (r *Source) Bool(p float64) bool { return r.Float64() < p }
 // (mean 1/rate). It panics if rate <= 0.
 func (r *Source) Exp(rate float64) float64 {
 	if rate <= 0 {
-		panic("rng: Exp with non-positive rate")
+		panic("rng: Exp with non-positive rate") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	return -math.Log(1-r.Float64()) / rate
 }
@@ -120,7 +120,7 @@ func (r *Source) Exp(rate float64) float64 {
 // positive.
 func (r *Source) Pareto(alpha, xm float64) float64 {
 	if alpha <= 0 || xm <= 0 {
-		panic("rng: Pareto with non-positive parameter")
+		panic("rng: Pareto with non-positive parameter") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	return xm / math.Pow(1-r.Float64(), 1/alpha)
 }
@@ -129,7 +129,7 @@ func (r *Source) Pareto(alpha, xm float64) float64 {
 // inverse-CDF sampling of the bounded Pareto distribution.
 func (r *Source) BoundedPareto(alpha, lo, hi float64) float64 {
 	if alpha <= 0 || lo <= 0 || hi <= lo {
-		panic("rng: BoundedPareto with invalid parameters")
+		panic("rng: BoundedPareto with invalid parameters") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	u := r.Float64()
 	la := math.Pow(lo, alpha)
@@ -150,7 +150,7 @@ func (r *Source) Normal(mean, stddev float64) float64 {
 // [lo, hi]. It panics if the interval is empty.
 func (r *Source) TruncNormal(mean, stddev, lo, hi float64) float64 {
 	if hi <= lo {
-		panic("rng: TruncNormal with empty interval")
+		panic("rng: TruncNormal with empty interval") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	for i := 0; i < 1000; i++ {
 		v := r.Normal(mean, stddev)
@@ -170,7 +170,7 @@ func (r *Source) LogNormal(mu, sigma float64) float64 {
 // Weibull returns a Weibull(shape k, scale lambda) value.
 func (r *Source) Weibull(k, lambda float64) float64 {
 	if k <= 0 || lambda <= 0 {
-		panic("rng: Weibull with non-positive parameter")
+		panic("rng: Weibull with non-positive parameter") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	return lambda * math.Pow(-math.Log(1-r.Float64()), 1/k)
 }
@@ -211,7 +211,7 @@ type Zipf struct {
 // NewZipf builds a Zipf sampler over ranks 1..n with exponent s.
 func NewZipf(src *Source, n int, s float64) *Zipf {
 	if n <= 0 || s <= 0 {
-		panic("rng: NewZipf with invalid parameters")
+		panic("rng: NewZipf with invalid parameters") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	cdf := make([]float64, n)
 	sum := 0.0

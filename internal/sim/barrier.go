@@ -22,7 +22,7 @@ func (b *Barrier) Add(n int) { b.remaining += n }
 func (b *Barrier) Done() {
 	b.remaining--
 	if b.remaining < 0 {
-		panic("sim: Barrier.Done called more times than Add")
+		panic("sim: Barrier.Done called more times than Add") //simlint:allow no-library-panic caller-contract assertion: Done without a matching Add
 	}
 	b.fireIfReady()
 }

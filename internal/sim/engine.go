@@ -135,7 +135,7 @@ func (e *Engine) Pending() int { return len(e.heap) }
 // panics: it would silently reorder causality.
 func (e *Engine) At(t Time, fn func()) *Event {
 	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now)) //simlint:allow no-library-panic causality assertion: scheduling into the past is a model bug
 	}
 	ev := &Event{t: t, seq: e.seq, fn: fn}
 	e.seq++
@@ -155,7 +155,7 @@ func (e *Engine) Reschedule(ev *Event, t Time) bool {
 		return false
 	}
 	if t < e.now {
-		panic(fmt.Sprintf("sim: rescheduling event at %v before now %v", t, e.now))
+		panic(fmt.Sprintf("sim: rescheduling event at %v before now %v", t, e.now)) //simlint:allow no-library-panic causality assertion: scheduling into the past is a model bug
 	}
 	ev.t = t
 	ev.seq = e.seq

@@ -21,7 +21,7 @@ type Histogram struct {
 // NewLinearHistogram covers [lo, hi) with n equal-width buckets.
 func NewLinearHistogram(lo, hi float64, n int) *Histogram {
 	if n < 1 || hi <= lo {
-		panic("stats: invalid linear histogram parameters")
+		panic("stats: invalid linear histogram parameters") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	edges := make([]float64, n+1)
 	w := (hi - lo) / float64(n)
@@ -37,7 +37,7 @@ func NewLinearHistogram(lo, hi float64, n int) *Histogram {
 // are long-tailed, so log bucketing is the default in this repo.
 func NewLogHistogram(lo, hi float64, n int) *Histogram {
 	if n < 1 || lo <= 0 || hi <= lo {
-		panic("stats: invalid log histogram parameters")
+		panic("stats: invalid log histogram parameters") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	edges := make([]float64, n+1)
 	ratio := math.Pow(hi/lo, 1/float64(n))
@@ -117,11 +117,11 @@ func (h *Histogram) FractionBelow(x float64) float64 {
 // Merge adds the counts of o (which must have identical bucketing).
 func (h *Histogram) Merge(o *Histogram) {
 	if len(h.edges) != len(o.edges) {
-		panic("stats: merging histograms with different bucketing")
+		panic("stats: merging histograms with different bucketing") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	for i, e := range h.edges {
 		if e != o.edges[i] {
-			panic("stats: merging histograms with different bucketing")
+			panic("stats: merging histograms with different bucketing") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 		}
 	}
 	for i := range h.counts {

@@ -57,7 +57,7 @@ const SwitchesPerGroup = 4
 // nModules=110, nGroups=9 (440 routers, 36 leaf switches).
 func PlaceRouters(grid CabinetGrid, torus Torus, nModules, nGroups int) Placement {
 	if nModules <= 0 || nGroups <= 0 {
-		panic("topology: need positive module and group counts")
+		panic("topology: need positive module and group counts") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	p := Placement{Grid: grid, Torus: torus, Groups: nGroups}
 	total := grid.Cabinets()
@@ -119,7 +119,7 @@ func (p Placement) NearestModule(c Coord, among []IOModule) (IOModule, int) {
 		among = p.Modules
 	}
 	if len(among) == 0 {
-		panic("topology: no modules to choose from")
+		panic("topology: no modules to choose from") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	best := among[0]
 	bestD := p.Torus.Distance(c, best.Coord)

@@ -29,7 +29,7 @@ func (t Torus) Contains(c Coord) bool {
 // Index linearizes a coordinate.
 func (t Torus) Index(c Coord) int {
 	if !t.Contains(c) {
-		panic(fmt.Sprintf("topology: coord %v outside torus %dx%dx%d", c, t.NX, t.NY, t.NZ))
+		panic(fmt.Sprintf("topology: coord %v outside torus %dx%dx%d", c, t.NX, t.NY, t.NZ)) //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	return (c.X*t.NY+c.Y)*t.NZ + c.Z
 }
@@ -37,7 +37,7 @@ func (t Torus) Index(c Coord) int {
 // CoordOf inverts Index.
 func (t Torus) CoordOf(i int) Coord {
 	if i < 0 || i >= t.Nodes() {
-		panic("topology: index out of range")
+		panic("topology: index out of range") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	z := i % t.NZ
 	i /= t.NZ

@@ -32,7 +32,7 @@ type CompileResult struct {
 // RunCompile executes the metadata storm against fs.
 func RunCompile(fs *lustre.FS, cfg CompileConfig, done func(CompileResult)) {
 	if cfg.SourceFiles <= 0 {
-		panic("workload: compile needs source files")
+		panic("workload: compile needs source files") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	if cfg.Parallelism < 1 {
 		cfg.Parallelism = 1

@@ -91,10 +91,10 @@ func fmtBytes(n int64) string {
 func RunIOR(fs *lustre.FS, cfg IORConfig) IORResult {
 	eng := fs.Engine()
 	if cfg.Clients <= 0 || cfg.TransferSize <= 0 {
-		panic("workload: IOR needs clients and a transfer size")
+		panic("workload: IOR needs clients and a transfer size") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	if cfg.StoneWall <= 0 && cfg.BlockSize <= 0 {
-		panic("workload: IOR needs a stonewall or a block size")
+		panic("workload: IOR needs a stonewall or a block size") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	if cfg.StripeCount <= 0 {
 		cfg.StripeCount = 1

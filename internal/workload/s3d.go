@@ -43,7 +43,7 @@ type S3DResult struct {
 func RunS3D(fs *lustre.FS, cfg S3DConfig) S3DResult {
 	eng := fs.Engine()
 	if cfg.Ranks <= 0 || cfg.Dumps <= 0 || cfg.DumpBytes <= 0 {
-		panic("workload: invalid S3D config")
+		panic("workload: invalid S3D config") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	if cfg.TransferSize <= 0 {
 		cfg.TransferSize = 1 << 20

@@ -1,12 +1,20 @@
 #!/bin/sh
-# Tier-1 verification (see ROADMAP.md): full build + tests, vet, and
-# race-mode runs of the concurrency-adjacent fault packages.
+# Tier-1 verification (see ROADMAP.md): full build + tests, vet, the
+# simlint invariant suite, and race-mode runs of the concurrency- and
+# engine-adjacent packages.
 set -eux
 
 go build ./...
 go vet ./...
-go test ./...
-go test -race ./internal/chaos/... ./internal/failure/...
+
+# simlint: the determinism & hygiene analyzer suite (DESIGN.md
+# "Enforced invariants"). Zero diagnostics or the build fails.
+go run ./cmd/simlint
+
+# -shuffle=on randomizes test execution order so inter-test state
+# coupling cannot hide behind a lucky default order.
+go test -shuffle=on ./...
+go test -race ./internal/chaos/... ./internal/failure/... ./internal/sim/... ./internal/netsim/...
 
 # Determinism double-run: the event-trace regression tests compare two
 # in-process runs already; -count=2 additionally reruns each comparison
