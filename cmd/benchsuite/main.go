@@ -8,6 +8,12 @@
 // LNET routers, 288 OSSes) recording ns/flow-event. -out writes the
 // JSON artifact (the checked-in BENCH_netsim.json is produced by
 // `go run ./cmd/benchsuite -netsim -out BENCH_netsim.json`).
+//
+// With -spantrace it measures the tracing plane's observer cost: the
+// same Spider II-scale congestion workload untraced versus traced at
+// 1-in-64 sampling (the checked-in BENCH_spantrace.json is produced by
+// `go run ./cmd/benchsuite -spantrace -out BENCH_spantrace.json`; the
+// acceptance ceiling is 5% wall-clock overhead).
 package main
 
 import (
@@ -28,12 +34,17 @@ func main() {
 	cellSec := flag.Float64("cell", 1.0, "seconds per sweep cell (simulated)")
 	seed := flag.Uint64("seed", 42, "random seed")
 	netsimSuite := flag.Bool("netsim", false, "run the netsim flow-solver suite instead of the acquisition sweep")
-	full := flag.Bool("full", true, "with -netsim, include the Spider II-scale congestion benchmark")
-	out := flag.String("out", "", "with -netsim, write the suite JSON to this file")
+	spantraceSuite := flag.Bool("spantrace", false, "run the spantrace observer-cost suite instead of the acquisition sweep")
+	full := flag.Bool("full", true, "with -netsim/-spantrace, use the Spider II-scale congestion benchmark")
+	out := flag.String("out", "", "with -netsim/-spantrace, write the suite JSON to this file")
 	flag.Parse()
 
 	if *netsimSuite {
 		runNetsim(*full, *out)
+		return
+	}
+	if *spantraceSuite {
+		runSpantrace(*full, *out)
 		return
 	}
 
@@ -58,6 +69,25 @@ func main() {
 	for _, o := range benchsuite.CompareLevels(block, fsCells) {
 		fmt.Printf("%-24s %12.1f %12.1f %9.1f%%\n", o.Cell, o.BlockMBps, o.FSMBps, o.Frac*100)
 	}
+}
+
+func runSpantrace(full bool, out string) {
+	fmt.Println("== spantrace observer cost (untraced vs 1-in-64 sampled congestion run) ==")
+	s := netbench.RunSpans(full)
+	fmt.Print(s.Render())
+	if out == "" {
+		return
+	}
+	data, err := s.JSON()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", out)
 }
 
 func runNetsim(full bool, out string) {

@@ -10,6 +10,7 @@
 //	spidersim namespaces  — single vs multiple namespaces (E11)
 //	spidersim workflow    — data-centric vs machine-exclusive workflow (E6)
 //	spidersim chaos       — center-wide chaos campaign, featured vs ablated (E18)
+//	spidersim spans       — end-to-end span tracing: waterfall, critical paths, flame
 package main
 
 import (
@@ -21,15 +22,18 @@ import (
 	"spiderfs/internal/chaos"
 	"spiderfs/internal/disk"
 	"spiderfs/internal/lustre"
+	"spiderfs/internal/netsim"
 	"spiderfs/internal/procure"
 	"spiderfs/internal/purge"
 	"spiderfs/internal/qa"
 	"spiderfs/internal/raid"
 	"spiderfs/internal/rng"
 	"spiderfs/internal/sim"
+	"spiderfs/internal/spantrace"
 	"spiderfs/internal/stats"
 	"spiderfs/internal/tools"
 	"spiderfs/internal/topology"
+	"spiderfs/internal/trace"
 	"spiderfs/internal/workload"
 )
 
@@ -43,6 +47,9 @@ func main() {
 	seed := fs.Uint64("seed", 42, "random seed")
 	days := fs.Int("days", 0, "chaos: override the campaign length in simulated days")
 	full := fs.Bool("full", false, "chaos: 7-day full-scale campaign instead of the 1-day small center")
+	scenario := fs.String("scenario", "fig3", "spans: scenario to trace (fig3|chaos)")
+	every := fs.Int("every", 1, "spans: sample 1-in-N root requests (0 disables tracing)")
+	out := fs.String("out", "", "spans: also export the raw spans as JSON to this file")
 	_ = fs.Parse(os.Args[2:])
 
 	switch cmd {
@@ -68,6 +75,8 @@ func main() {
 		runRecovery(*seed)
 	case "chaos":
 		runChaos(*seed, *days, *full)
+	case "spans":
+		runSpans(*seed, *scenario, *every, *out)
 	case "arch":
 		c := center.New(center.Config{Scale: 1, Namespaces: 2, Seed: *seed})
 		fmt.Print(c.RenderArchitecture())
@@ -81,7 +90,69 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: spidersim <arch|layers|mixed|checkpoint|slowdisk|incident|purge|namespaces|workflow|fig3|fig4|recovery|chaos> [-seed N] [-days N] [-full]")
+	fmt.Fprintln(os.Stderr, "usage: spidersim <arch|layers|mixed|checkpoint|slowdisk|incident|purge|namespaces|workflow|fig3|fig4|recovery|chaos|spans> [-seed N] [-days N] [-full] [-scenario fig3|chaos] [-every N] [-out FILE]")
+}
+
+// runSpans traces a scenario end to end with the spantrace plane and
+// renders the per-layer bandwidth waterfall, the critical-path
+// attribution, the operation census, and a small flame view.
+func runSpans(seed uint64, scenario string, every int, out string) {
+	tr := spantrace.New(rng.New(seed^0x5a9_70ce), every)
+	switch scenario {
+	case "fig3":
+		fmt.Printf("spans: Fig. 3 point (32 clients, 1 MiB transfers, full fabric), sampling 1-in-%d\n", every)
+		c := center.New(center.Config{Small: true, Namespaces: 1, Seed: seed,
+			UseFabric: true, RouteMode: netsim.RouteFGR})
+		c.AttachTracer(tr)
+		res := c.RunIOR(0, workload.IORConfig{
+			Clients: 32, TransferSize: 1 << 20, StoneWall: 300 * sim.Millisecond,
+			Tracer: tr,
+		})
+		fmt.Printf("%v\n\n", res)
+	case "chaos":
+		fmt.Printf("spans: 1-day chaos campaign under injected faults, sampling 1-in-%d\n", every)
+		cfg := chaos.QuickConfig(seed)
+		cfg.Tracer = tr
+		rep := chaos.Run(cfg)
+		fmt.Printf("availability %.5f over %v\n\n", rep.Availability, cfg.Duration)
+	default:
+		fmt.Fprintf(os.Stderr, "spans: unknown scenario %q (want fig3 or chaos)\n", scenario)
+		os.Exit(2)
+	}
+
+	spans := tr.Spans()
+	fmt.Printf("sampled %d root requests -> %d spans\n\n", tr.Sampled(), len(spans))
+	fmt.Print(spantrace.RenderWaterfall(spantrace.Waterfall(spans)))
+	fmt.Println()
+	fmt.Print(spantrace.RenderCritical(spantrace.CriticalPaths(spans)))
+	fmt.Println()
+	fmt.Println("operation census (fault-path ops marked *):")
+	faulty := map[string]bool{"rpc-retry": true, "router-stall": true, "reroute": true,
+		"oss-stall": true, "drop": true, "degraded-read": true, "rmw": true, "rebuild-batch": true}
+	for _, oc := range spantrace.CountOps(spans) {
+		mark := " "
+		if faulty[oc.Op] {
+			mark = "*"
+		}
+		fmt.Printf("  %s %-16s %8d spans %14d bytes\n", mark, oc.Op, oc.N, oc.Bytes)
+	}
+	fmt.Println()
+	fmt.Println("flame view (first traced requests):")
+	fmt.Print(spantrace.RenderFlame(spans, 3))
+
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spans: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trace.WriteSpans(f, spans); err != nil {
+			fmt.Fprintf(os.Stderr, "spans: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d spans to %s\n", len(spans), out)
+	}
 }
 
 func runChaos(seed uint64, days int, full bool) {

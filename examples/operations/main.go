@@ -18,6 +18,7 @@ import (
 	"spiderfs/internal/raid"
 	"spiderfs/internal/rng"
 	"spiderfs/internal/sim"
+	"spiderfs/internal/spantrace"
 	"spiderfs/internal/tools"
 	"spiderfs/internal/topology"
 )
@@ -107,10 +108,16 @@ func main() {
 	// correlated faults — disk failures during rebuilds, OSS crashes with
 	// imperative-recovery failover, router-death bursts absorbed by ARN,
 	// cable degradation, an MDS outage, an enclosure loss — against a
-	// fresh small center and reports the availability ledger.
+	// fresh small center and reports the availability ledger. A sampled
+	// tracer rides along (1-in-8 probe requests), so afterwards the
+	// critical-path extractor can say which layer the faults actually
+	// pushed the bound into.
 	fmt.Println()
 	fmt.Println("=== chaos campaign: one simulated day of correlated faults ===")
-	rep := chaos.Run(chaos.QuickConfig(2026))
+	ccfg := chaos.QuickConfig(2026)
+	tr := spantrace.New(rng.New(2026^0x5a9), 8)
+	ccfg.Tracer = tr
+	rep := chaos.Run(ccfg)
 	fmt.Print(rep)
 	fmt.Println("timeline (first faults):")
 	for i, line := range rep.Timeline {
@@ -118,6 +125,13 @@ func main() {
 			break
 		}
 		fmt.Printf("  %s\n", line)
+	}
+	crit := spantrace.CriticalPaths(tr.Spans())
+	fmt.Printf("span tracing: %d requests sampled during the campaign; top critical-path layers:\n",
+		crit.Requests)
+	for _, l := range crit.Top(3) {
+		fmt.Printf("  %-8s bounded %d requests (mean share %.0f%%)\n",
+			l, crit.Bounded[l], crit.Share[l]*100)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"spiderfs/internal/raid"
 	"spiderfs/internal/rng"
 	"spiderfs/internal/sim"
+	"spiderfs/internal/spantrace"
 	"spiderfs/internal/topology"
 	"spiderfs/internal/workload"
 )
@@ -131,6 +132,20 @@ type fabricTransport struct {
 // chaos campaign needs to keep running through correlated faults.
 func (t fabricTransport) Send(from topology.Coord, oss int, bytes int64, done func()) {
 	t.fabric.StartClientFlow(from, t.ossBase+oss, t.mode, float64(bytes), t.src, done)
+}
+
+// AttachTracer wires the spantrace plane through every instrumented
+// layer of the center — fabric, OSSes, OSTs, RAID groups, disks — and
+// binds the tracer to the center's engine. Clients opt in via
+// lustre.Client.Tracer / workload.IORConfig.Tracer.
+func (c *Center) AttachTracer(tr *spantrace.Tracer) {
+	tr.Bind(c.Eng)
+	if c.Fabric != nil {
+		c.Fabric.Tracer = tr
+	}
+	for _, fs := range c.Namespaces {
+		fs.SetTracer(tr)
+	}
 }
 
 // Transport returns the transport clients of namespace ns should use.

@@ -12,6 +12,7 @@ import (
 	"spiderfs/internal/raid"
 	"spiderfs/internal/rng"
 	"spiderfs/internal/sim"
+	"spiderfs/internal/spantrace"
 	"spiderfs/internal/topology"
 )
 
@@ -79,6 +80,13 @@ type Config struct {
 	// (time, seq) pair, so two runs can be compared at event granularity
 	// rather than only through the aggregated report fingerprint.
 	TraceEvents bool
+
+	// Tracer, when set, is attached to the center and handed to the
+	// probe clients, so sampled probe RPCs are recorded end to end by
+	// the spantrace plane (retry storms, OSS stalls, reroutes, rebuild
+	// interference). The tracer never perturbs the run: the
+	// observer-effect tests compare EventTrace with and without it.
+	Tracer *spantrace.Tracer
 }
 
 // DefaultConfig is the 7-day full-scale campaign over both namespaces
@@ -191,6 +199,9 @@ func Run(cfg Config) *Report {
 		Small: cfg.Small, UseFabric: true, RouteMode: netsim.RouteFGR,
 	})
 	cc.Fabric.SetNotification(cfg.ARN)
+	if cfg.Tracer != nil {
+		cc.AttachTracer(cfg.Tracer)
+	}
 
 	eng := cc.Eng
 	var th *sim.TraceHash
@@ -501,6 +512,7 @@ func (p *campaign) startProbes() {
 		ns, fs := ns, fs
 		cl := lustre.NewClient(9000+ns, topology.Coord{X: 1, Y: 1, Z: 1}, fs, p.c.Transport(ns))
 		cl.RPCTimeout = 100 * sim.Second
+		cl.Tracer = p.cfg.Tracer
 		p.probers = append(p.probers, cl)
 		pulse := 0
 		var tick func()

@@ -15,6 +15,7 @@ import (
 
 	"spiderfs/internal/rng"
 	"spiderfs/internal/sim"
+	"spiderfs/internal/spantrace"
 	"spiderfs/internal/stats"
 )
 
@@ -109,6 +110,10 @@ type Disk struct {
 
 	lastEnd int64 // LBA following the previous command, for sequential detection
 
+	// Tracer, when set, records a span per command plus the
+	// seek/rotate/transfer/tail decomposition (spantrace plane).
+	Tracer *spantrace.Tracer
+
 	// Counters for the monitoring and QA layers.
 	Ops      uint64
 	Bytes    int64
@@ -163,27 +168,44 @@ func (d *Disk) rate(lba int64) float64 {
 	return mbps * 1e6 / float64(sim.Second) // bytes per ns
 }
 
-// ServiceTime computes the service time of op from the current head
-// position without executing it. Exposed for analytic calibration.
-func (d *Disk) ServiceTime(op Op) sim.Time {
-	t := d.cfg.CmdOverhead
+// parts is the service-time decomposition of one command. The rng
+// draws happen exactly once, in serviceParts, whether or not tracing
+// is on — the decomposition exists so spantrace can attribute the
+// mechanics without disturbing the stream.
+type parts struct {
+	overhead, seek, rotate, transfer, tail sim.Time
+}
+
+func (p parts) total() sim.Time {
+	return p.overhead + p.seek + p.rotate + p.transfer + p.tail
+}
+
+func (d *Disk) serviceParts(op Op) parts {
+	p := parts{overhead: d.cfg.CmdOverhead}
 	if op.LBA != d.lastEnd {
 		dist := op.LBA - d.lastEnd
 		if dist < 0 {
 			dist = -dist
 		}
 		frac := math.Sqrt(float64(dist) / float64(d.cfg.Capacity))
-		t += d.cfg.SeekBase + sim.Time(float64(d.cfg.SeekFull)*frac)
+		p.seek = d.cfg.SeekBase + sim.Time(float64(d.cfg.SeekFull)*frac)
 		// Rotational latency: uniform in [0, one revolution).
 		rev := sim.Time(60 * float64(sim.Second) / d.cfg.RPM)
-		t += sim.Time(d.src.Float64() * float64(rev))
+		p.rotate = sim.Time(d.src.Float64() * float64(rev))
 	}
-	t += sim.Time(float64(op.Size) / d.rate(op.LBA))
+	p.transfer = sim.Time(float64(op.Size) / d.rate(op.LBA))
 	if d.src.Bool(d.health.TailProb) {
-		t += sim.Time(d.src.Exp(1) * float64(d.health.TailScale))
+		p.tail = sim.Time(d.src.Exp(1) * float64(d.health.TailScale))
 		d.SlowCmds++
 	}
-	return t
+	return p
+}
+
+// ServiceTime computes the service time of op from the current head
+// position without executing it. Exposed for analytic calibration.
+// Draws from the disk's rng stream like a real command would.
+func (d *Disk) ServiceTime(op Op) sim.Time {
+	return d.serviceParts(op).total()
 }
 
 // Submit queues op and calls done (may be nil) at completion.
@@ -191,12 +213,45 @@ func (d *Disk) Submit(op Op, done func()) {
 	if op.Size <= 0 || op.LBA < 0 || op.LBA+op.Size > d.cfg.Capacity {
 		panic(fmt.Sprintf("disk: invalid op lba=%d size=%d cap=%d", op.LBA, op.Size, d.cfg.Capacity)) //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
-	st := d.ServiceTime(op)
+	pts := d.serviceParts(op)
+	st := pts.total()
 	d.lastEnd = op.LBA + op.Size
 	d.Ops++
 	d.Bytes += op.Size
+	op2 := "disk-read"
+	if op.Write {
+		op2 = "disk-write"
+	}
+	sp := d.Tracer.Begin(spantrace.Disk, op2, d.Tracer.Cur(), op.Size)
+	submitted := d.eng.Now()
 	d.srv.Submit(st, func() {
 		d.Latency.Add(st.Millis())
+		if sp != 0 {
+			// Decompose retroactively: the actuator started this
+			// command total ns before it completed; everything
+			// earlier was queueing behind other commands.
+			end := d.eng.Now()
+			at := end - st
+			if at > submitted {
+				d.Tracer.Range(spantrace.Disk, "queue", sp, submitted, at, 0)
+			}
+			for _, ph := range [...]struct {
+				op  string
+				dur sim.Time
+			}{
+				{"cmd", pts.overhead},
+				{"seek", pts.seek},
+				{"rotate", pts.rotate},
+				{"transfer", pts.transfer},
+				{"tail", pts.tail},
+			} {
+				if ph.dur > 0 {
+					d.Tracer.Range(spantrace.Disk, ph.op, sp, at, at+ph.dur, 0)
+					at += ph.dur
+				}
+			}
+			d.Tracer.End(sp)
+		}
 		if done != nil {
 			done()
 		}

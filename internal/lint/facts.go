@@ -140,6 +140,8 @@ func markerCall(modpath string, callee *types.Func) (string, bool) {
 		}
 	case modpath + "/internal/trace":
 		return "writes trace output", true
+	case modpath + "/internal/spantrace":
+		return "records span-trace output", true
 	case "fmt":
 		switch callee.Name() {
 		case "Fprint", "Fprintf", "Fprintln":

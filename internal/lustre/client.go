@@ -4,6 +4,7 @@ import (
 	"spiderfs/internal/netsim"
 	"spiderfs/internal/rng"
 	"spiderfs/internal/sim"
+	"spiderfs/internal/spantrace"
 	"spiderfs/internal/topology"
 )
 
@@ -56,6 +57,10 @@ type Client struct {
 	// era): application transfers larger than this are split, which is
 	// why Fig. 3 plateaus past 1 MiB rather than improving.
 	MaxRPC int64
+
+	// Tracer, when set, samples issued RPCs as spantrace root spans;
+	// every layer the request crosses attaches child spans under them.
+	Tracer *spantrace.Tracer
 
 	// RPCTimeout, when positive, arms a watchdog on every issued RPC.
 	// An RPC still unacknowledged when the watchdog expires counts one
@@ -140,6 +145,23 @@ func (s *stream) issue(size int64) {
 	ossIdx := s.c.FS.ostOSS[oi]
 	oss := s.c.FS.OSSes[ossIdx]
 	fs := s.c.FS
+	// Sample the RPC as a spantrace root. ctx is the request context
+	// threaded to deeper layers: the root span when sampled, NoSpan when
+	// this request was considered and skipped (suppresses fabric
+	// self-sampling), 0 when tracing is off entirely.
+	tr := s.c.Tracer
+	var rpcSpan, ctx spantrace.SpanID
+	if tr != nil {
+		op := "rpc-read"
+		if s.write {
+			op = "rpc-write"
+		}
+		rpcSpan = tr.SampleRoot(spantrace.Client, op, size)
+		ctx = rpcSpan
+		if ctx == 0 {
+			ctx = spantrace.NoSpan
+		}
+	}
 	var watchdog *sim.Event
 	if cl := s.c; cl.RPCTimeout > 0 {
 		var arm func()
@@ -147,6 +169,7 @@ func (s *stream) issue(size int64) {
 			watchdog = fs.eng.After(cl.RPCTimeout, func() {
 				cl.RPCTimeouts++
 				cl.RPCRetries++
+				tr.Mark(spantrace.Client, "rpc-retry", rpcSpan, size, "")
 				arm()
 			})
 		}
@@ -154,6 +177,7 @@ func (s *stream) issue(size int64) {
 	}
 	complete := func() {
 		watchdog.Cancel()
+		tr.End(rpcSpan)
 		s.inFlight--
 		s.acked += size
 		if s.write {
@@ -165,20 +189,35 @@ func (s *stream) issue(size int64) {
 		}
 		s.pump()
 	}
+	// Each synchronous call boundary is bracketed with Swap so deeper
+	// layers see this RPC as their parent context; deferred callbacks
+	// re-install the captured context before descending further.
 	if s.write {
+		old := tr.Swap(ctx)
 		s.c.TR.Send(s.c.Coord, ossIdx, size, func() {
+			o1 := tr.Swap(ctx)
 			oss.Service(size, func() {
+				o2 := tr.Swap(ctx)
 				obj.Write(size, complete)
+				tr.Swap(o2)
 			})
+			tr.Swap(o1)
 		})
+		tr.Swap(old)
 	} else {
 		// Read: request travels to the OSS, data is produced, and the
 		// payload returns over the same fabric path class.
+		old := tr.Swap(ctx)
 		oss.Service(size, func() {
+			o1 := tr.Swap(ctx)
 			obj.Read(size, s.random, func() {
+				o2 := tr.Swap(ctx)
 				s.c.TR.Send(s.c.Coord, ossIdx, size, complete)
+				tr.Swap(o2)
 			})
+			tr.Swap(o1)
 		})
+		tr.Swap(old)
 	}
 }
 

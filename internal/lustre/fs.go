@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"spiderfs/internal/sim"
+	"spiderfs/internal/spantrace"
 )
 
 // File is a striped Lustre file: metadata on the MDS, data objects on
@@ -120,6 +121,20 @@ func (fs *FS) MetadataOps() uint64 {
 
 // Engine returns the engine the namespace runs on.
 func (fs *FS) Engine() *sim.Engine { return fs.eng }
+
+// SetTracer attaches the spantrace plane to every instrumented layer
+// under this namespace (OSSes, OSTs, RAID groups, disks) and binds the
+// tracer to the namespace's engine. Clients opt in individually via
+// Client.Tracer.
+func (fs *FS) SetTracer(tr *spantrace.Tracer) {
+	tr.Bind(fs.eng)
+	for _, s := range fs.OSSes {
+		s.tracer = tr
+	}
+	for _, o := range fs.OSTs {
+		o.SetTracer(tr)
+	}
+}
 
 // OSSOf returns the OSS index serving OST ost.
 func (fs *FS) OSSOf(ost int) int { return fs.ostOSS[ost] }

@@ -1,6 +1,9 @@
 package lustre
 
-import "spiderfs/internal/sim"
+import (
+	"spiderfs/internal/sim"
+	"spiderfs/internal/spantrace"
+)
 
 // OSSConfig describes an object storage server's CPU budget.
 type OSSConfig struct {
@@ -19,9 +22,10 @@ func Spider2OSS() OSSConfig {
 // OSS is one object storage server fronting several OSTs. Every data RPC
 // passes through its CPU before reaching the controller.
 type OSS struct {
-	ID  int
-	cfg OSSConfig
-	cpu *sim.Server
+	ID     int
+	cfg    OSSConfig
+	cpu    *sim.Server
+	tracer *spantrace.Tracer
 
 	RPCs  uint64
 	Bytes int64
@@ -57,13 +61,32 @@ func (s *OSS) QueueLen() int { return s.cpu.QueueLen() }
 func (s *OSS) Service(size int64, done func()) {
 	if s.down {
 		s.StalledRPCs++
-		s.stalled = append(s.stalled, func() { s.Service(size, done) })
+		// The stall span covers arrival through recovery replay; the
+		// replay re-enters Service under the same request context.
+		p := s.tracer.Cur()
+		sp := s.tracer.Begin(spantrace.OSS, "oss-stall", p, size)
+		s.stalled = append(s.stalled, func() {
+			s.tracer.End(sp)
+			old := s.tracer.Swap(p)
+			s.Service(size, done)
+			s.tracer.Swap(old)
+		})
 		return
 	}
 	s.RPCs++
 	s.Bytes += size
 	t := s.cfg.FixedPerRPC + sim.Time(size)*s.cfg.PerByte
-	s.cpu.Submit(t, done)
+	sp := s.tracer.Begin(spantrace.OSS, "oss-service", s.tracer.Cur(), size)
+	cb := done
+	if sp != 0 {
+		cb = func() {
+			s.tracer.End(sp)
+			if done != nil {
+				done()
+			}
+		}
+	}
+	s.cpu.Submit(t, cb)
 }
 
 // Glimpse runs the small OST attribute callback used by stat on striped

@@ -6,6 +6,7 @@ import (
 	"spiderfs/internal/raid"
 	"spiderfs/internal/rng"
 	"spiderfs/internal/sim"
+	"spiderfs/internal/spantrace"
 )
 
 // JournalMode selects how the OST's file system journal commits. Stock
@@ -38,11 +39,12 @@ const journalSyncBarrier = 10 * sim.Millisecond
 // stripes when the stream is sequential, or as partial-stripe (RMW)
 // writes when fragmentation forces it.
 type OST struct {
-	ID    int
-	eng   *sim.Engine
-	group *raid.Group
-	ctrl  *Controller
-	src   *rng.Source
+	ID     int
+	eng    *sim.Engine
+	group  *raid.Group
+	ctrl   *Controller
+	src    *rng.Source
+	tracer *spantrace.Tracer
 
 	// FlushDelay bounds how long a residual partial-stripe buffer may
 	// sit before being forced to disk.
@@ -75,6 +77,13 @@ func NewOST(eng *sim.Engine, id int, group *raid.Group, ctrl *Controller, src *r
 		FlushDelay:   50 * sim.Millisecond,
 		JournalBatch: 4,
 	}
+}
+
+// SetTracer attaches the tracing plane to this OST and everything
+// below it (RAID group and member disks).
+func (o *OST) SetTracer(tr *spantrace.Tracer) {
+	o.tracer = tr
+	o.group.SetTracer(tr)
 }
 
 // Group exposes the underlying RAID group (QA and monitoring use).
@@ -192,6 +201,16 @@ func (o *OST) dataCap() int64 { return o.Capacity() - journalReserve }
 // commit into the journal region when SyncJournal is configured — the
 // journal/data head ping-pong the funded async journaling eliminated.
 func (o *OST) flushToDisk(lba, n int64, after func()) {
+	fsp := o.tracer.Begin(spantrace.OST, "flush", o.tracer.Cur(), n)
+	if fsp != 0 {
+		inner := after
+		after = func() {
+			o.tracer.End(fsp)
+			if inner != nil {
+				inner()
+			}
+		}
+	}
 	if o.Journal == SyncJournal {
 		o.uncommitted++
 		if batch := o.JournalBatch; batch < 1 || o.uncommitted >= batch {
@@ -205,17 +224,23 @@ func (o *OST) flushToDisk(lba, n int64, after func()) {
 			if o.journalPtr >= journalReserve-4096 {
 				o.journalPtr = 0
 			}
+			jsp := o.tracer.Begin(spantrace.OST, "journal-commit", fsp, 4096)
 			o.ctrl.AdmitWrite(4096, nil)
 			o.eng.After(journalSyncBarrier, func() {
+				o.tracer.End(jsp)
 				o.ctrl.Flushed(4096)
+				old := o.tracer.Swap(fsp)
 				o.group.Write(lba, n, after)
+				o.tracer.Swap(old)
 			})
 			return
 		}
 	} else {
 		o.JournalCommits++ // async commits happen off the write path
 	}
+	old := o.tracer.Swap(fsp)
 	o.group.Write(lba, n, after)
+	o.tracer.Swap(old)
 }
 
 // Write ingests size bytes of an object write RPC. done fires when the
@@ -228,17 +253,23 @@ func (obj *Object) Write(size int64, done func()) {
 		panic("lustre: object write of non-positive size") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	o.WriteRPCs++
+	sp := o.tracer.Begin(spantrace.OST, "ost-write", o.tracer.Cur(), size)
 	o.ctrl.AdmitWrite(size, func() {
 		o.BytesWritten += size
 		o.used += size
 		obj.Size += size
 		obj.buffered += size
+		old := o.tracer.Swap(sp)
 		if o.src.Bool(o.FragmentProb()) {
 			obj.flushFragmented()
 		} else {
 			obj.flushFullStripes()
 		}
 		obj.armFlushTimer()
+		o.tracer.Swap(old)
+		// The span covers admission through the write-back ack; the
+		// flush continues underneath as the "flush" child.
+		o.tracer.End(sp)
 		if done != nil {
 			done()
 		}
@@ -257,6 +288,7 @@ func (obj *Object) WriteSync(size int64, random bool, done func()) {
 		panic("lustre: object write of non-positive size") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	o.WriteRPCs++
+	sp := o.tracer.Begin(spantrace.OST, "ost-writesync", o.tracer.Cur(), size)
 	o.ctrl.AdmitWrite(size, func() {
 		o.BytesWritten += size
 		o.used += size
@@ -269,12 +301,15 @@ func (obj *Object) WriteSync(size int64, random bool, done func()) {
 			lba = o.seqAlloc(size)
 			o.SequentialFlushes++
 		}
+		old := o.tracer.Swap(sp)
 		o.flushToDisk(lba, size, func() {
 			o.ctrl.Flushed(size)
+			o.tracer.End(sp)
 			if done != nil {
 				done()
 			}
 		})
+		o.tracer.Swap(old)
 	})
 }
 
@@ -328,7 +363,12 @@ func (obj *Object) armFlushTimer() {
 			obj.buffered = 0
 			lba := o.seqAlloc(n)
 			o.FragmentedFlushes++
+			// Timer flushes belong to no single request: clear the
+			// request context so the flush is not misattributed to
+			// whatever span happens to be current when the timer fires.
+			old := o.tracer.Swap(0)
 			o.flushToDisk(lba, n, func() { o.ctrl.Flushed(n) })
+			o.tracer.Swap(old)
 		}
 	})
 }
@@ -364,6 +404,7 @@ func (obj *Object) Read(size int64, random bool, done func()) {
 		panic("lustre: object read of non-positive size") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	o.ReadRPCs++
+	sp := o.tracer.Begin(spantrace.OST, "ost-read", o.tracer.Cur(), size)
 	o.ctrl.ServiceRead(size, func() {
 		o.BytesRead += size
 		var lba int64
@@ -376,7 +417,18 @@ func (obj *Object) Read(size int64, random bool, done func()) {
 			lba = obj.readPtr
 			obj.readPtr += size
 		}
-		o.group.Read(lba, size, done)
+		dd := done
+		if sp != 0 {
+			dd = func() {
+				o.tracer.End(sp)
+				if done != nil {
+					done()
+				}
+			}
+		}
+		old := o.tracer.Swap(sp)
+		o.group.Read(lba, size, dd)
+		o.tracer.Swap(old)
 	})
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"spiderfs/internal/rng"
 	"spiderfs/internal/sim"
+	"spiderfs/internal/spantrace"
 	"spiderfs/internal/topology"
 )
 
@@ -82,6 +83,11 @@ type Fabric struct {
 	// is the error path invoked for each such send.
 	DroppedFlows uint64
 	OnDrop       func(oss int, bytes float64)
+
+	// Tracer, when set, records fabric spans for sampled requests (and
+	// self-samples raw sends that arrive with no request context). It
+	// must be bound to this fabric's engine. See internal/spantrace.
+	Tracer *spantrace.Tracer
 }
 
 const (

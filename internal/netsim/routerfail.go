@@ -1,8 +1,11 @@
 package netsim
 
 import (
+	"strconv"
+
 	"spiderfs/internal/rng"
 	"spiderfs/internal/sim"
+	"spiderfs/internal/spantrace"
 	"spiderfs/internal/topology"
 )
 
@@ -109,6 +112,25 @@ func (f *Fabric) pathVia(c topology.Coord, oss, rid int) []*Link {
 // fires — the caller's stalled-send counters make the loss visible.
 func (f *Fabric) StartClientFlow(c topology.Coord, oss int, mode RouteMode, bytes float64, src *rng.Source, done func()) {
 	eng := f.engine()
+	// Spantrace: under a sampled request context the send becomes a
+	// fabric child span; with no context at all (raw fabric workloads,
+	// netbench) the fabric self-samples roots; NoSpan means the request
+	// was considered upstream and skipped, so nothing is recorded.
+	tr := f.Tracer
+	var fparent spantrace.SpanID
+	if tr != nil {
+		switch p := tr.Cur(); {
+		case p == spantrace.NoSpan:
+			tr = nil
+		case p == 0:
+			fparent = tr.SampleRoot(spantrace.Fabric, "send", int64(bytes))
+			if fparent == 0 {
+				tr = nil
+			}
+		default:
+			fparent = tr.Begin(spantrace.Fabric, "send", p, int64(bytes))
+		}
+	}
 	// The blacklist is allocated lazily: the overwhelmingly common case
 	// is a first-attempt success, and this runs once per RPC. Lookups on
 	// the nil map are fine; only a stall materializes it.
@@ -118,6 +140,8 @@ func (f *Fabric) StartClientFlow(c topology.Coord, oss int, mode RouteMode, byte
 		rid := f.selectRouter(c, f.ossLeaf[oss], mode, src, skip)
 		if rid < 0 {
 			f.DroppedFlows++
+			tr.Mark(spantrace.Fabric, "drop", fparent, int64(bytes), "")
+			tr.End(fparent)
 			if f.OnDrop != nil {
 				f.OnDrop(oss, bytes)
 			}
@@ -128,14 +152,38 @@ func (f *Fabric) StartClientFlow(c topology.Coord, oss int, mode RouteMode, byte
 			// the hard way.
 			f.StalledSends++
 			f.StallTime += RouterTimeout
+			stall := tr.Begin(spantrace.Fabric, "router-stall", fparent, 0)
+			if stall != 0 {
+				tr.Annotate(stall, "rtr"+strconv.Itoa(rid))
+			}
 			if skip == nil {
 				skip = map[int]bool{}
 			}
 			skip[rid] = true
-			eng.After(RouterTimeout, attempt)
+			eng.After(RouterTimeout, func() {
+				tr.End(stall)
+				tr.Mark(spantrace.Fabric, "reroute", fparent, 0, "")
+				attempt()
+			})
 			return
 		}
-		f.Net.StartFlow(f.pathVia(c, oss, rid), bytes, done)
+		path := f.pathVia(c, oss, rid)
+		fl := tr.Begin(spantrace.Fabric, "flow", fparent, int64(bytes))
+		if fl != 0 {
+			tr.Annotate(fl, "rtr"+strconv.Itoa(rid)+" hops="+strconv.Itoa(len(path)))
+			for _, l := range path {
+				tr.Mark(spantrace.Fabric, "hop", fl, 0, l.Name)
+			}
+			inner := done
+			done = func() {
+				tr.End(fl)
+				tr.End(fparent)
+				if inner != nil {
+					inner()
+				}
+			}
+		}
+		f.Net.StartFlow(path, bytes, done)
 	}
 	attempt()
 }

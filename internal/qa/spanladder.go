@@ -1,0 +1,33 @@
+package qa
+
+import (
+	"spiderfs/internal/lustre"
+	"spiderfs/internal/rng"
+	"spiderfs/internal/sim"
+	"spiderfs/internal/spantrace"
+	"spiderfs/internal/topology"
+)
+
+// SpanLadder rebuilds the Lesson-12 profiling ladder from the tracing
+// plane instead of isolated per-layer probes: one fully-sampled client
+// streams 1 MiB writes through a single OST column of the namespace,
+// and the per-layer bandwidth ladder falls out of the span waterfall —
+// every rung measured simultaneously on the same I/O, which is what
+// the paper's bottom-up methodology was approximating with serial
+// benchmarks. Returns the waterfall, deepest layer first.
+func SpanLadder(p lustre.Params, seed uint64) []spantrace.Rung {
+	eng := sim.NewEngine()
+	fs := lustre.Build(eng, p, rng.New(seed))
+	tr := spantrace.New(rng.New(seed^0x51a9_7ace), 1)
+	fs.SetTracer(tr)
+
+	cl := lustre.NewClient(0, topology.Coord{}, fs, lustre.NullTransport{Eng: eng})
+	cl.Tracer = tr
+	var file *lustre.File
+	fs.CreateOn("span/ladder", []int{0}, func(f *lustre.File) { file = f })
+	eng.Run()
+
+	cl.WriteStream(file, 256<<20, 1<<20, nil)
+	eng.Run()
+	return spantrace.Waterfall(tr.Spans())
+}

@@ -10,6 +10,7 @@ import (
 
 	"spiderfs/internal/disk"
 	"spiderfs/internal/sim"
+	"spiderfs/internal/spantrace"
 )
 
 // GroupConfig describes a RAID group's geometry.
@@ -71,6 +72,7 @@ type Group struct {
 
 	state   State
 	offline map[int]bool // member index -> offline
+	tracer  *spantrace.Tracer
 
 	// rebuild bookkeeping
 	rebuildMember int
@@ -114,6 +116,15 @@ func NewGroup(eng *sim.Engine, id int, cfg GroupConfig, members []*disk.Disk) *G
 		state:        Healthy,
 		offline:      map[int]bool{},
 		RebuildChunk: 64,
+	}
+}
+
+// SetTracer attaches the tracing plane to the group and its member
+// disks (replacement drives inherit it at StartRebuild).
+func (g *Group) SetTracer(tr *spantrace.Tracer) {
+	g.tracer = tr
+	for _, d := range g.dsks {
+		d.Tracer = tr
 	}
 }
 
@@ -189,11 +200,23 @@ func (g *Group) Read(off, size int64, done func()) {
 	}
 	g.Reads++
 	g.BytesRead += size
+	sp := g.tracer.Begin(spantrace.RAID, "raid-read", g.tracer.Cur(), size)
+	if sp != 0 {
+		inner := done
+		done = func() {
+			g.tracer.End(sp)
+			if inner != nil {
+				inner()
+			}
+		}
+	}
 	b := sim.NewBarrier(done)
+	old := g.tracer.Swap(sp)
 	g.forEachStripe(off, size, func(stripe, chunkFirst, chunkLast int64) {
 		degraded := g.stripeDegraded(stripe)
 		if degraded {
 			g.DegradedReads++
+			g.tracer.Mark(spantrace.RAID, "degraded-read", sp, (chunkLast-chunkFirst+1)*g.cfg.ChunkSize, "")
 			// Reconstruct: read the full stripe from every survivor.
 			for m := 0; m < g.cfg.Width(); m++ {
 				g.submitTo(m, disk.Op{LBA: g.diskOffset(stripe), Size: g.cfg.ChunkSize}, b)
@@ -205,6 +228,7 @@ func (g *Group) Read(off, size int64, done func()) {
 			g.submitTo(m, disk.Op{LBA: g.diskOffset(stripe), Size: g.cfg.ChunkSize}, b)
 		}
 	})
+	g.tracer.Swap(old)
 	b.Arm()
 }
 
@@ -218,7 +242,18 @@ func (g *Group) Write(off, size int64, done func()) {
 	}
 	g.Writes++
 	g.BytesWritten += size
+	sp := g.tracer.Begin(spantrace.RAID, "raid-write", g.tracer.Cur(), size)
+	if sp != 0 {
+		inner := done
+		done = func() {
+			g.tracer.End(sp)
+			if inner != nil {
+				inner()
+			}
+		}
+	}
 	b := sim.NewBarrier(done)
+	old := g.tracer.Swap(sp)
 	g.forEachStripe(off, size, func(stripe, chunkFirst, chunkLast int64) {
 		full := chunkFirst == 0 && chunkLast == int64(g.cfg.DataDisks-1)
 		p0, p1 := g.parityLocations(stripe)
@@ -236,25 +271,42 @@ func (g *Group) Write(off, size int64, done func()) {
 		// Read-modify-write: phase 1 reads old chunks + parity, phase 2
 		// writes the new versions. Chain the phases with a nested barrier.
 		g.PartialWrite++
+		rmw := g.tracer.Begin(spantrace.RAID, "rmw", sp, (chunkLast-chunkFirst+1)*g.cfg.ChunkSize)
 		b.Add(1)
+		stripeDone := b.Done
+		if rmw != 0 {
+			stripeDone = func() {
+				g.tracer.End(rmw)
+				b.Done()
+			}
+		}
+		p2parent := sp
+		if rmw != 0 {
+			p2parent = rmw
+		}
 		phase1 := sim.NewBarrier(func() {
-			phase2 := sim.NewBarrier(b.Done)
+			phase2 := sim.NewBarrier(stripeDone)
+			old2 := g.tracer.Swap(p2parent)
 			for k := chunkFirst; k <= chunkLast; k++ {
 				m := g.chunkLocation(stripe, int(k))
 				g.submitTo(m, disk.Op{Write: true, LBA: stripeOff, Size: g.cfg.ChunkSize}, phase2)
 			}
 			g.submitTo(p0, disk.Op{Write: true, LBA: stripeOff, Size: g.cfg.ChunkSize}, phase2)
 			g.submitTo(p1, disk.Op{Write: true, LBA: stripeOff, Size: g.cfg.ChunkSize}, phase2)
+			g.tracer.Swap(old2)
 			phase2.Arm()
 		})
+		old1 := g.tracer.Swap(p2parent)
 		for k := chunkFirst; k <= chunkLast; k++ {
 			m := g.chunkLocation(stripe, int(k))
 			g.submitTo(m, disk.Op{LBA: stripeOff, Size: g.cfg.ChunkSize}, phase1)
 		}
 		g.submitTo(p0, disk.Op{LBA: stripeOff, Size: g.cfg.ChunkSize}, phase1)
 		g.submitTo(p1, disk.Op{LBA: stripeOff, Size: g.cfg.ChunkSize}, phase1)
+		g.tracer.Swap(old1)
 		phase1.Arm()
 	})
+	g.tracer.Swap(old)
 	b.Arm()
 }
 
@@ -338,6 +390,7 @@ func (g *Group) StartRebuild(m int, replacement *disk.Disk, done func()) {
 	if g.state == Failed {
 		panic("raid: rebuild on failed group") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
+	replacement.Tracer = g.tracer
 	g.dsks[m] = replacement
 	g.state = Rebuilding
 	g.rebuildMember = m
@@ -380,7 +433,13 @@ func (g *Group) rebuildBatch(done func()) {
 	}
 	first := g.rebuildNext
 	g.rebuildNext += n
+	size := n * g.cfg.ChunkSize
+	// Rebuild batches are background work with no client request to
+	// parent to: self-sample them as roots so rebuild interference is
+	// visible in chaos-campaign traces.
+	sp := g.tracer.SampleRoot(spantrace.RAID, "rebuild-batch", size)
 	b := sim.NewBarrier(func() {
+		g.tracer.End(sp)
 		if g.state != Rebuilding {
 			return // group failed mid-rebuild
 		}
@@ -391,7 +450,7 @@ func (g *Group) rebuildBatch(done func()) {
 		g.rebuildBatch(done)
 	})
 	// Read n contiguous chunks from each survivor, write to replacement.
-	size := n * g.cfg.ChunkSize
+	old := g.tracer.Swap(sp)
 	for i := 0; i < g.cfg.Width(); i++ {
 		if i == g.rebuildMember || g.offline[i] {
 			continue
@@ -401,5 +460,6 @@ func (g *Group) rebuildBatch(done func()) {
 	}
 	b.Add(1)
 	g.dsks[g.rebuildMember].Submit(disk.Op{Write: true, LBA: first * g.cfg.ChunkSize, Size: size}, b.Done)
+	g.tracer.Swap(old)
 	b.Arm()
 }

@@ -1,0 +1,399 @@
+package spantrace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"spiderfs/internal/sim"
+)
+
+// interval is a closed busy window [lo, hi] in sim time.
+type interval struct{ lo, hi sim.Time }
+
+// unionSeconds merges the intervals in place (sorting them) and
+// returns the total covered time in seconds.
+func unionSeconds(ivs []interval) float64 {
+	merged := mergeIntervals(ivs)
+	var total sim.Time
+	for _, iv := range merged {
+		total += iv.hi - iv.lo
+	}
+	return total.Seconds()
+}
+
+// mergeIntervals sorts ivs and collapses overlaps. The input slice is
+// reused as scratch; the returned slice aliases it.
+func mergeIntervals(ivs []interval) []interval {
+	if len(ivs) == 0 {
+		return ivs
+	}
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].lo != ivs[j].lo {
+			return ivs[i].lo < ivs[j].lo
+		}
+		return ivs[i].hi < ivs[j].hi
+	})
+	out := ivs[:1]
+	for _, iv := range ivs[1:] {
+		last := &out[len(out)-1]
+		if iv.lo <= last.hi {
+			if iv.hi > last.hi {
+				last.hi = iv.hi
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// subtractSeconds returns the portion of ivs (assumed merged) not
+// covered by cover (assumed merged), in seconds.
+func subtractSeconds(ivs, cover []interval) float64 {
+	var total sim.Time
+	ci := 0
+	for _, iv := range ivs {
+		lo := iv.lo
+		for ci < len(cover) && cover[ci].hi <= lo {
+			ci++
+		}
+		j := ci
+		for lo < iv.hi {
+			if j >= len(cover) || cover[j].lo >= iv.hi {
+				total += iv.hi - lo
+				break
+			}
+			if cover[j].lo > lo {
+				total += cover[j].lo - lo
+			}
+			if cover[j].hi >= iv.hi {
+				break
+			}
+			lo = cover[j].hi
+			j++
+		}
+	}
+	return total.Seconds()
+}
+
+// Rung is one layer of the Lesson-12 waterfall: how many bytes entered
+// the layer, how long the layer was busy (union of its span intervals,
+// so pipelining does not double-count), and the bandwidth the layer
+// delivered while busy. Efficiency is this rung's bandwidth relative
+// to the rung below it (the next deeper layer present); values above 1
+// mean the layer is not the binding constraint at that boundary.
+type Rung struct {
+	Layer       Layer
+	Spans       int
+	Bytes       int64
+	BusySeconds float64
+	MBps        float64
+	Efficiency  float64
+}
+
+// Waterfall aggregates spans into the per-layer bandwidth ladder,
+// deepest layer first (the paper profiles bottom-up). Bytes are
+// counted only on spans that *enter* a layer (root spans or spans
+// whose parent sits in a different layer), so same-layer decomposition
+// spans (disk seek/rotate, RAID RMW phases, OST flush) do not inflate
+// the layer's byte count.
+func Waterfall(spans []Span) []Rung {
+	layerOf := make(map[SpanID]Layer, len(spans))
+	for i := range spans {
+		layerOf[spans[i].ID] = spans[i].Layer
+	}
+	var ivs [numLayers][]interval
+	var bytes [numLayers]int64
+	var count [numLayers]int
+	for i := range spans {
+		s := &spans[i]
+		if !s.Done() {
+			continue
+		}
+		l := s.Layer
+		count[l]++
+		if s.End > s.Start {
+			ivs[l] = append(ivs[l], interval{s.Start, s.End})
+		}
+		entry := s.Parent == 0
+		if !entry {
+			pl, ok := layerOf[s.Parent]
+			entry = !ok || pl != l
+		}
+		if entry {
+			bytes[l] += s.Bytes
+		}
+	}
+	var out []Rung
+	for li := int(numLayers) - 1; li >= 0; li-- {
+		if count[li] == 0 {
+			continue
+		}
+		r := Rung{Layer: Layer(li), Spans: count[li], Bytes: bytes[li]}
+		r.BusySeconds = unionSeconds(ivs[li])
+		if r.BusySeconds > 0 {
+			r.MBps = float64(bytes[li]) / r.BusySeconds / 1e6
+		}
+		out = append(out, r)
+	}
+	for i := range out {
+		if i == 0 {
+			out[i].Efficiency = 1
+			continue
+		}
+		if below := out[i-1].MBps; below > 0 {
+			out[i].Efficiency = out[i].MBps / below
+		}
+	}
+	return out
+}
+
+// RenderWaterfall formats the ladder as a fixed-width table.
+func RenderWaterfall(rungs []Rung) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %8s %12s %12s %12s %10s\n",
+		"layer", "spans", "bytes", "busy-s", "MB/s", "vs-below")
+	for i, r := range rungs {
+		eff := "-"
+		if i > 0 {
+			eff = fmt.Sprintf("%.0f%%", r.Efficiency*100)
+		}
+		fmt.Fprintf(&b, "%-8s %8d %12d %12.4f %12.1f %10s\n",
+			r.Layer, r.Spans, r.Bytes, r.BusySeconds, r.MBps, eff)
+	}
+	b.WriteString("(vs-below >100% = layer not binding at that boundary)\n")
+	return b.String()
+}
+
+// CriticalReport summarizes per-request critical-path extraction:
+// for each completed root tree, request time is attributed to the
+// deepest layer busy at each instant (clipped to the root window);
+// the layer with the largest share bounded that request.
+type CriticalReport struct {
+	Requests int
+	// Bounded[l] counts requests whose dominant layer is l.
+	Bounded [NumLayers]int
+	// Share[l] is the mean fraction of request time attributed to l.
+	Share [NumLayers]float64
+}
+
+// CriticalPaths runs the extractor over a span dump. Spans are in
+// record order (parents precede children), which the single-pass root
+// resolution relies on.
+func CriticalPaths(spans []Span) CriticalReport {
+	var rep CriticalReport
+	idx := make(map[SpanID]int, len(spans))
+	for i := range spans {
+		idx[spans[i].ID] = i
+	}
+	rootOf := make([]int, len(spans))
+	nTrees := 0
+	for i := range spans {
+		if spans[i].Parent == 0 {
+			rootOf[i] = i
+			nTrees++
+			continue
+		}
+		if j, ok := idx[spans[i].Parent]; ok && j < i {
+			rootOf[i] = rootOf[j]
+		} else {
+			rootOf[i] = -1
+		}
+	}
+	if nTrees == 0 {
+		return rep
+	}
+	// Group member indices per root, preserving record order.
+	members := make(map[int][]int, nTrees)
+	roots := make([]int, 0, nTrees)
+	for i := range spans {
+		r := rootOf[i]
+		if r < 0 {
+			continue
+		}
+		if r == i {
+			roots = append(roots, i)
+		}
+		members[r] = append(members[r], i)
+	}
+	var sumShare [NumLayers]float64
+	for _, r := range roots {
+		root := &spans[r]
+		if !root.Done() || root.End == root.Start {
+			continue
+		}
+		lo, hi := root.Start, root.End
+		total := (hi - lo).Seconds()
+		var perLayer [NumLayers][]interval
+		for _, i := range members[r] {
+			s := &spans[i]
+			if !s.Done() || s.End == s.Start {
+				continue
+			}
+			slo, shi := s.Start, s.End
+			if slo < lo {
+				slo = lo
+			}
+			if shi > hi {
+				shi = hi
+			}
+			if shi > slo {
+				perLayer[s.Layer] = append(perLayer[s.Layer], interval{slo, shi})
+			}
+		}
+		var attr [NumLayers]float64
+		var cover []interval
+		for l := NumLayers - 1; l >= 0; l-- {
+			if len(perLayer[l]) == 0 {
+				continue
+			}
+			u := mergeIntervals(perLayer[l])
+			attr[l] = subtractSeconds(u, cover)
+			cover = mergeIntervals(append(cover, u...))
+		}
+		dominant := int(root.Layer)
+		best := -1.0
+		for l := 0; l < NumLayers; l++ {
+			if attr[l] >= best && attr[l] > 0 {
+				best = attr[l]
+				dominant = l
+			}
+		}
+		rep.Requests++
+		rep.Bounded[dominant]++
+		for l := 0; l < NumLayers; l++ {
+			sumShare[l] += attr[l] / total
+		}
+	}
+	if rep.Requests > 0 {
+		for l := 0; l < NumLayers; l++ {
+			rep.Share[l] = sumShare[l] / float64(rep.Requests)
+		}
+	}
+	return rep
+}
+
+// Top returns up to k layers ordered by bounded-request count
+// (descending), ties toward the deeper layer. Layers that bounded
+// nothing are omitted.
+func (r CriticalReport) Top(k int) []Layer {
+	var order []Layer
+	for l := NumLayers - 1; l >= 0; l-- {
+		if r.Bounded[l] > 0 {
+			order = append(order, Layer(l))
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return r.Bounded[order[i]] > r.Bounded[order[j]]
+	})
+	if len(order) > k {
+		order = order[:k]
+	}
+	return order
+}
+
+// RenderCritical formats the critical-path summary.
+func RenderCritical(r CriticalReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "critical path over %d sampled requests:\n", r.Requests)
+	for _, l := range r.Top(NumLayers) {
+		fmt.Fprintf(&b, "  %-8s bounded %4d requests  (mean share %5.1f%%)\n",
+			l, r.Bounded[l], r.Share[l]*100)
+	}
+	return b.String()
+}
+
+// OpCount aggregates spans by operation name.
+type OpCount struct {
+	Op    string
+	N     int
+	Bytes int64
+}
+
+// CountOps tallies spans per op, sorted by op name. The map is used
+// for index lookup only; output order comes from the sort.
+func CountOps(spans []Span) []OpCount {
+	at := make(map[string]int, 16)
+	var out []OpCount
+	for i := range spans {
+		op := spans[i].Op
+		j, ok := at[op]
+		if !ok {
+			j = len(out)
+			at[op] = j
+			out = append(out, OpCount{Op: op})
+		}
+		out[j].N++
+		out[j].Bytes += spans[i].Bytes
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Op < out[j].Op })
+	return out
+}
+
+// RenderFlame renders up to maxRoots completed request trees as an
+// indented text flame view: one line per span, offset/duration bars
+// scaled to the root window.
+func RenderFlame(spans []Span, maxRoots int) string {
+	idx := make(map[SpanID]int, len(spans))
+	for i := range spans {
+		idx[spans[i].ID] = i
+	}
+	children := make([][]int, len(spans))
+	var roots []int
+	for i := range spans {
+		p := spans[i].Parent
+		if p == 0 {
+			if spans[i].Done() {
+				roots = append(roots, i)
+			}
+			continue
+		}
+		if j, ok := idx[p]; ok {
+			children[j] = append(children[j], i)
+		}
+	}
+	if len(roots) > maxRoots {
+		roots = roots[:maxRoots]
+	}
+	var b strings.Builder
+	const barW = 32
+	for _, r := range roots {
+		lo, hi := spans[r].Start, spans[r].End
+		span := float64(hi - lo)
+		var walk func(i, depth int)
+		walk = func(i, depth int) {
+			s := &spans[i]
+			bar := [barW]byte{}
+			for k := range bar {
+				bar[k] = '.'
+			}
+			if span > 0 && s.Done() {
+				from := int(float64(s.Start-lo) / span * barW)
+				to := int(float64(s.End-lo)/span*barW) + 1
+				if from < 0 {
+					from = 0
+				}
+				if to > barW {
+					to = barW
+				}
+				for k := from; k < to; k++ {
+					bar[k] = '#'
+				}
+			}
+			detail := s.Detail
+			if detail != "" {
+				detail = "  " + detail
+			}
+			fmt.Fprintf(&b, "  |%s| %s[%s] %-14s %9d B  %v%s\n",
+				bar[:], strings.Repeat("  ", depth), s.Layer, s.Op, s.Bytes, s.Duration(), detail)
+			for _, c := range children[i] {
+				walk(c, depth+1)
+			}
+		}
+		fmt.Fprintf(&b, "request %s %s @ %v (%v)\n",
+			spans[r].Layer, spans[r].Op, spans[r].Start, spans[r].Duration())
+		walk(r, 0)
+	}
+	return b.String()
+}

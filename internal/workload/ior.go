@@ -11,6 +11,7 @@ import (
 
 	"spiderfs/internal/lustre"
 	"spiderfs/internal/sim"
+	"spiderfs/internal/spantrace"
 	"spiderfs/internal/topology"
 )
 
@@ -55,6 +56,10 @@ type IORConfig struct {
 	Dir         string
 	Placer      Placer
 	Transport   lustre.Transport
+	// Tracer, when set, is handed to every client so sampled RPCs are
+	// recorded by the spantrace plane (attach it to the namespace with
+	// FS.SetTracer or center.AttachTracer first).
+	Tracer *spantrace.Tracer
 }
 
 // IORResult reports a run.
@@ -114,6 +119,7 @@ func RunIOR(fs *lustre.FS, cfg IORConfig) IORResult {
 	files := make([]*lustre.File, cfg.Clients)
 	for i := 0; i < cfg.Clients; i++ {
 		clients[i] = lustre.NewClient(i, cfg.Placer(i), fs, cfg.Transport)
+		clients[i].Tracer = cfg.Tracer
 		i := i
 		fs.Create(fmt.Sprintf("%s/rank%07d", dir, i), cfg.StripeCount, func(f *lustre.File) {
 			files[i] = f

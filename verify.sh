@@ -14,7 +14,7 @@ go run ./cmd/simlint
 # -shuffle=on randomizes test execution order so inter-test state
 # coupling cannot hide behind a lucky default order.
 go test -shuffle=on ./...
-go test -race ./internal/chaos/... ./internal/failure/... ./internal/sim/... ./internal/netsim/...
+go test -race ./internal/chaos/... ./internal/failure/... ./internal/sim/... ./internal/netsim/... ./internal/spantrace/...
 
 # Determinism double-run: the event-trace regression tests compare two
 # in-process runs already; -count=2 additionally reruns each comparison
@@ -22,6 +22,7 @@ go test -race ./internal/chaos/... ./internal/failure/... ./internal/sim/... ./i
 go test -count=2 -run 'Deterministic' ./internal/netsim/ ./internal/chaos/
 
 # Benchmark smoke: one iteration of every netsim/sim benchmark,
-# including the Spider II-scale congestion wave, so the harness behind
-# BENCH_netsim.json cannot rot silently.
-go test -bench . -benchtime=1x -run '^$' ./internal/netsim/ ./internal/sim/ ./internal/netbench/
+# including the Spider II-scale congestion wave and the traced/untraced
+# spantrace pair, so the harnesses behind BENCH_netsim.json and
+# BENCH_spantrace.json cannot rot silently.
+go test -bench . -benchtime=1x -run '^$' ./internal/netsim/ ./internal/sim/ ./internal/netbench/ ./internal/spantrace/
