@@ -14,37 +14,68 @@
 // 1-in-64 sampling (the checked-in BENCH_spantrace.json is produced by
 // `go run ./cmd/benchsuite -spantrace -out BENCH_spantrace.json`; the
 // acceptance ceiling is 5% wall-clock overhead).
+//
+// With -sweep it runs the standard seed sweeps (E3 slow-disk, E13
+// purge residency, E18 chaos) through the deterministic parallel sweep
+// runner, double-running each serially and on a -workers-wide pool
+// (the checked-in BENCH_sweep.json is produced by
+// `go run ./cmd/benchsuite -sweep -out BENCH_sweep.json`).
+//
+// With -check it is the bench-regression gate: each committed
+// BENCH_*.json in -bench-dir is compared against its freshly generated
+// counterpart in -fresh, and any gate finding (see internal/regress)
+// exits nonzero.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"time"
 
 	"spiderfs/internal/benchsuite"
 	"spiderfs/internal/disk"
 	"spiderfs/internal/lustre"
 	"spiderfs/internal/netbench"
 	"spiderfs/internal/raid"
+	"spiderfs/internal/regress"
 	"spiderfs/internal/rng"
 	"spiderfs/internal/sim"
 )
+
+// benchArtifacts are the committed bench JSON files the -check gate
+// knows how to compare (via their schema fields).
+var benchArtifacts = []string{"BENCH_netsim.json", "BENCH_spantrace.json", "BENCH_sweep.json"}
 
 func main() {
 	cellSec := flag.Float64("cell", 1.0, "seconds per sweep cell (simulated)")
 	seed := flag.Uint64("seed", 42, "random seed")
 	netsimSuite := flag.Bool("netsim", false, "run the netsim flow-solver suite instead of the acquisition sweep")
 	spantraceSuite := flag.Bool("spantrace", false, "run the spantrace observer-cost suite instead of the acquisition sweep")
+	sweepSuite := flag.Bool("sweep", false, "run the seed-sweep suite (E3/E13/E18) instead of the acquisition sweep")
+	workers := flag.Int("workers", 0, "with -sweep, parallel worker count (0 = GOMAXPROCS)")
+	check := flag.Bool("check", false, "regression gate: compare committed BENCH_*.json against -fresh copies")
+	benchDir := flag.String("bench-dir", ".", "with -check, directory holding the committed BENCH_*.json files")
+	freshDir := flag.String("fresh", "", "with -check, directory holding freshly generated BENCH_*.json files")
 	full := flag.Bool("full", true, "with -netsim/-spantrace, use the Spider II-scale congestion benchmark")
-	out := flag.String("out", "", "with -netsim/-spantrace, write the suite JSON to this file")
+	out := flag.String("out", "", "with -netsim/-spantrace/-sweep, write the suite JSON to this file")
 	flag.Parse()
 
+	if *check {
+		runCheck(*benchDir, *freshDir)
+		return
+	}
 	if *netsimSuite {
 		runNetsim(*full, *out)
 		return
 	}
 	if *spantraceSuite {
 		runSpantrace(*full, *out)
+		return
+	}
+	if *sweepSuite {
+		runSweep(*seed, *workers, *out)
 		return
 	}
 
@@ -69,6 +100,81 @@ func main() {
 	for _, o := range benchsuite.CompareLevels(block, fsCells) {
 		fmt.Printf("%-24s %12.1f %12.1f %9.1f%%\n", o.Cell, o.BlockMBps, o.FSMBps, o.Frac*100)
 	}
+}
+
+func runSweep(seed uint64, workers int, out string) {
+	fmt.Println("== seed sweeps (deterministic parallel replica runner, serial vs parallel double-run) ==")
+	s, err := benchsuite.RunSweepSuite(seed, workers, func() int64 { return time.Now().UnixNano() })
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(1)
+	}
+	fmt.Print(s.Render())
+	if out == "" {
+		return
+	}
+	data, err := s.JSON()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", out)
+}
+
+// runCheck is the regression gate. Every known artifact present in
+// freshDir is compared against the committed copy in benchDir; any
+// finding exits 1. A fresh artifact with no committed baseline, or a
+// missing freshDir, is a hard error — the gate must never pass
+// vacuously by mistake.
+func runCheck(benchDir, freshDir string) {
+	if freshDir == "" {
+		fmt.Fprintln(os.Stderr, "benchsuite: -check requires -fresh <dir>")
+		os.Exit(2)
+	}
+	checked := 0
+	failed := false
+	for _, name := range benchArtifacts {
+		fresh, err := os.ReadFile(filepath.Join(freshDir, name))
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsuite:", err)
+			os.Exit(2)
+		}
+		committed, err := os.ReadFile(filepath.Join(benchDir, name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsuite: fresh artifact has no committed baseline:", err)
+			os.Exit(2)
+		}
+		findings, err := regress.Compare(name, committed, fresh)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsuite:", err)
+			os.Exit(2)
+		}
+		checked++
+		if len(findings) == 0 {
+			fmt.Printf("ok   %s\n", name)
+			continue
+		}
+		failed = true
+		for _, f := range findings {
+			fmt.Printf("FAIL %s\n", f)
+		}
+	}
+	if checked == 0 {
+		fmt.Fprintf(os.Stderr, "benchsuite: no known BENCH_*.json artifacts found in %s\n", freshDir)
+		os.Exit(2)
+	}
+	if failed {
+		fmt.Println("bench regression gate: FAIL")
+		os.Exit(1)
+	}
+	fmt.Printf("bench regression gate: ok (%d artifacts)\n", checked)
 }
 
 func runSpantrace(full bool, out string) {

@@ -11,13 +11,16 @@
 //	spidersim workflow    — data-centric vs machine-exclusive workflow (E6)
 //	spidersim chaos       — center-wide chaos campaign, featured vs ablated (E18)
 //	spidersim spans       — end-to-end span tracing: waterfall, critical paths, flame
+//	spidersim sweep       — deterministic parallel seed sweeps of E3/E13/E18 with merged CIs
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"spiderfs/internal/benchsuite"
 	"spiderfs/internal/center"
 	"spiderfs/internal/chaos"
 	"spiderfs/internal/disk"
@@ -31,6 +34,7 @@ import (
 	"spiderfs/internal/sim"
 	"spiderfs/internal/spantrace"
 	"spiderfs/internal/stats"
+	"spiderfs/internal/sweep"
 	"spiderfs/internal/tools"
 	"spiderfs/internal/topology"
 	"spiderfs/internal/trace"
@@ -50,6 +54,9 @@ func main() {
 	scenario := fs.String("scenario", "fig3", "spans: scenario to trace (fig3|chaos)")
 	every := fs.Int("every", 1, "spans: sample 1-in-N root requests (0 disables tracing)")
 	out := fs.String("out", "", "spans: also export the raw spans as JSON to this file")
+	exp := fs.String("exp", "all", "sweep: which sweep to run (e3|e13|e18|all)")
+	replicas := fs.Int("replicas", 0, "sweep: override the replica count per sweep")
+	workers := fs.Int("workers", 0, "sweep: parallel worker count (0 = GOMAXPROCS)")
 	_ = fs.Parse(os.Args[2:])
 
 	switch cmd {
@@ -77,6 +84,8 @@ func main() {
 		runChaos(*seed, *days, *full)
 	case "spans":
 		runSpans(*seed, *scenario, *every, *out)
+	case "sweep":
+		runSweep(*seed, *exp, *replicas, *workers)
 	case "arch":
 		c := center.New(center.Config{Scale: 1, Namespaces: 2, Seed: *seed})
 		fmt.Print(c.RenderArchitecture())
@@ -90,7 +99,42 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: spidersim <arch|layers|mixed|checkpoint|slowdisk|incident|purge|namespaces|workflow|fig3|fig4|recovery|chaos|spans> [-seed N] [-days N] [-full] [-scenario fig3|chaos] [-every N] [-out FILE]")
+	fmt.Fprintln(os.Stderr, "usage: spidersim <arch|layers|mixed|checkpoint|slowdisk|incident|purge|namespaces|workflow|fig3|fig4|recovery|chaos|spans|sweep> [-seed N] [-days N] [-full] [-scenario fig3|chaos] [-every N] [-out FILE] [-exp e3|e13|e18|all] [-replicas N] [-workers N]")
+}
+
+// runSweep fans the standard seed sweeps across a worker pool and
+// prints each merged report — the same replica bodies and merge path
+// that `benchsuite -sweep` uses for BENCH_sweep.json, interactively.
+func runSweep(seed uint64, exp string, replicas, workers int) {
+	short := map[string]string{"e3": "e3-slowdisk", "e13": "e13-purge", "e18": "e18-chaos"}
+	want := exp
+	if w, ok := short[exp]; ok {
+		want = w
+	}
+	ran := 0
+	for _, e := range benchsuite.SweepEntries(seed) {
+		if want != "all" && e.Label != want {
+			continue
+		}
+		if replicas > 0 {
+			e.Replicas = replicas
+		}
+		t0 := time.Now()
+		res, err := sweep.Run(sweep.Config{
+			Label: e.Label, Seed: e.Seed, Replicas: e.Replicas, Workers: workers,
+		}, e.Body)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Report())
+		fmt.Printf("  (%d replicas in %v)\n", e.Replicas, time.Since(t0).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "sweep: unknown experiment %q (want e3, e13, e18, or all)\n", exp)
+		os.Exit(2)
+	}
 }
 
 // runSpans traces a scenario end to end with the spantrace plane and

@@ -1,0 +1,29 @@
+package chaos
+
+import "spiderfs/internal/sweep"
+
+// CampaignReplica returns a sweep body that runs one independent chaos
+// campaign (E18) per replica: the base configuration with the replica's
+// derived seed, so a sweep measures the availability distribution over
+// many fault schedules rather than one point sample. Each campaign
+// builds its own center and engine; replicas share nothing.
+func CampaignReplica(base Config) sweep.Body {
+	return func(r *sweep.Rep) error {
+		cfg := base
+		cfg.Seed = r.Seed
+		rep := Run(cfg)
+
+		r.Record("availability", rep.Availability)
+		r.Record("ost_downtime_h", rep.OSTDowntime.Seconds()/3600)
+		r.Record("disk_failures", float64(rep.DiskFailures))
+		r.Record("oss_crashes", float64(rep.OSSCrashes))
+		r.Record("routers_killed", float64(rep.RoutersKilled))
+		r.Record("cascades", float64(rep.Cascades))
+		r.Record("incidents", float64(rep.Incidents))
+		r.Record("rpc_retries", float64(rep.RPCRetries))
+		r.Record("probe_stalls", float64(rep.ProbeStalls))
+		r.Record("mean_probe_mbps", rep.MeanProbeMBps)
+		r.Record("min_probe_mbps", rep.MinProbeMBps)
+		return nil
+	}
+}

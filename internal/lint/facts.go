@@ -142,6 +142,8 @@ func markerCall(modpath string, callee *types.Func) (string, bool) {
 		return "writes trace output", true
 	case modpath + "/internal/spantrace":
 		return "records span-trace output", true
+	case modpath + "/internal/sweep":
+		return "records sweep results", true
 	case "fmt":
 		switch callee.Name() {
 		case "Fprint", "Fprintf", "Fprintln":

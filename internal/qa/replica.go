@@ -1,0 +1,50 @@
+package qa
+
+import (
+	"fmt"
+
+	"spiderfs/internal/disk"
+	"spiderfs/internal/raid"
+	"spiderfs/internal/rng"
+	"spiderfs/internal/sim"
+	"spiderfs/internal/sweep"
+)
+
+// SlowDiskReplica returns a sweep body that runs one independent E3
+// slow-disk elimination campaign (§V-A): a fresh engine and drive fleet
+// seeded from the replica stream, the full multi-round
+// benchmark/bin/replace loop, and the campaign's headline numbers
+// recorded as metrics. Replicas share nothing, so the sweep runner can
+// fan them across workers.
+func SlowDiskReplica(groups int, cfg EliminationConfig) sweep.Body {
+	return func(r *sweep.Rep) error {
+		eng := sim.NewEngine()
+		dcfg := disk.NLSAS2TB()
+		dcfg.Capacity = 1 << 30
+		fleet := raid.BuildGroups(eng, groups, raid.Spider2Group(), dcfg,
+			disk.DefaultPopulation(), rng.New(r.Seed))
+		rep := RunElimination(eng, fleet, cfg, r.Src.Split("elim"))
+		if len(rep.Rounds) == 0 {
+			return fmt.Errorf("qa: elimination produced no rounds")
+		}
+
+		drives := 0
+		for _, g := range fleet {
+			drives += len(g.Disks())
+		}
+		first, last := rep.Rounds[0], rep.Rounds[len(rep.Rounds)-1]
+		r.Record("rounds", float64(len(rep.Rounds)))
+		r.Record("replaced_frac", float64(rep.TotalReplaced)/float64(drives))
+		r.Record("initial_spread", first.Spread)
+		r.Record("final_spread", last.Spread)
+		if rep.Converged {
+			r.Record("converged", 1)
+		} else {
+			r.Record("converged", 0)
+		}
+		if rep.BeforeMBps > 0 {
+			r.Record("aggregate_gain", rep.AfterMBps/rep.BeforeMBps-1)
+		}
+		return nil
+	}
+}

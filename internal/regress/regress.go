@@ -1,0 +1,241 @@
+// Package regress is the bench-regression gate: it compares a
+// committed BENCH_*.json artifact against a freshly generated one and
+// reports findings where the fresh run has gotten worse. The gate is
+// schema-aware — each artifact family declares which of its metrics
+// are deterministic (exact or near-exact gates: sweep fingerprints,
+// metric means, allocation counts) and which are wall-clock-derived
+// (loose tolerances or no gate at all, because CI runners are noisy).
+//
+// The package takes bytes and returns findings; all file I/O and exit
+// codes live in cmd/benchsuite, keeping this package environment-free.
+package regress
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Tolerances for the wall-clock-adjacent gates. Deterministic gates
+// (fingerprints, sweep means) do not use these.
+const (
+	// allocRatioFloorFrac: the netsim ordered-vs-map allocation ratio
+	// may fall to this fraction of the committed value before the gate
+	// trips. Allocation counts are stable across runs, but compiler
+	// versions shift them slightly.
+	allocRatioFloorFrac = 0.70
+	// allocsPerOpSlack: per-result allocs/op may exceed the committed
+	// count by this factor (plus one alloc of absolute slack).
+	allocsPerOpSlack = 1.25
+	// overheadCeiling: spantrace's documented acceptance ceiling —
+	// tracing may cost at most this fraction of wall clock. Gated as an
+	// absolute ceiling, not relative to the committed (often negative,
+	// i.e. in-noise) value.
+	overheadCeiling = 0.05
+	// spansPerOpTolFrac: spans emitted per benchmark op are a sampling
+	// count, deterministic up to batch rounding.
+	spansPerOpTolFrac = 0.10
+	// sweepMeanTol: sweep metric means are fully deterministic; only
+	// float formatting round-trip error is allowed.
+	sweepMeanTol = 1e-9
+)
+
+// Finding is one gate violation.
+type Finding struct {
+	Artifact string // file name, e.g. BENCH_sweep.json
+	Check    string // short gate name, e.g. sweep-fingerprint
+	Detail   string // human-readable committed-vs-fresh explanation
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Artifact, f.Check, f.Detail)
+}
+
+type header struct {
+	Schema string `json:"schema"`
+}
+
+// Compare gates a fresh artifact against the committed one. The schema
+// field of the committed bytes selects the rule set; a fresh artifact
+// with a different schema is itself a finding (the generator changed
+// shape without updating the committed baseline). The returned error
+// covers malformed input, not regressions.
+func Compare(artifact string, committed, fresh []byte) ([]Finding, error) {
+	var ch, fh header
+	if err := json.Unmarshal(committed, &ch); err != nil {
+		return nil, fmt.Errorf("regress %s: committed artifact: %w", artifact, err)
+	}
+	if err := json.Unmarshal(fresh, &fh); err != nil {
+		return nil, fmt.Errorf("regress %s: fresh artifact: %w", artifact, err)
+	}
+	if ch.Schema != fh.Schema {
+		return []Finding{{artifact, "schema",
+			fmt.Sprintf("committed %q vs fresh %q", ch.Schema, fh.Schema)}}, nil
+	}
+	switch ch.Schema {
+	case "spiderfs-netsim-bench/1":
+		return compareNetsim(artifact, committed, fresh)
+	case "spiderfs-spantrace-bench/1":
+		return compareSpantrace(artifact, committed, fresh)
+	case "spiderfs-sweep-bench/1":
+		return compareSweep(artifact, committed, fresh)
+	}
+	return nil, fmt.Errorf("regress %s: unknown schema %q", artifact, ch.Schema)
+}
+
+type netsimDoc struct {
+	Results []struct {
+		Name        string  `json:"name"`
+		AllocsPerOp float64 `json:"allocs_per_op"`
+	} `json:"results"`
+	AllocRatio float64 `json:"start_finish_alloc_ratio"`
+	Speedup    float64 `json:"start_finish_speedup"`
+}
+
+func compareNetsim(artifact string, committed, fresh []byte) ([]Finding, error) {
+	var c, f netsimDoc
+	if err := decodeBoth(artifact, committed, fresh, &c, &f); err != nil {
+		return nil, err
+	}
+	var out []Finding
+	if floor := c.AllocRatio * allocRatioFloorFrac; f.AllocRatio < floor {
+		out = append(out, Finding{artifact, "alloc-ratio",
+			fmt.Sprintf("start_finish_alloc_ratio %.2f fell below floor %.2f (committed %.2f)",
+				f.AllocRatio, floor, c.AllocRatio)})
+	}
+	// The ordered path must still beat the map baseline outright; the
+	// committed margin is ~7x, so 1.0 is a generous noise allowance.
+	if f.Speedup < 1.0 {
+		out = append(out, Finding{artifact, "speedup",
+			fmt.Sprintf("start_finish_speedup %.2f < 1.0 (ordered path slower than map baseline; committed %.2f)",
+				f.Speedup, c.Speedup)})
+	}
+	for _, cr := range c.Results {
+		for _, fr := range f.Results {
+			if fr.Name != cr.Name {
+				continue
+			}
+			if ceil := cr.AllocsPerOp*allocsPerOpSlack + 1; fr.AllocsPerOp > ceil {
+				out = append(out, Finding{artifact, "allocs-per-op",
+					fmt.Sprintf("%s allocs/op %.0f exceeds ceiling %.0f (committed %.0f)",
+						cr.Name, fr.AllocsPerOp, ceil, cr.AllocsPerOp)})
+			}
+		}
+	}
+	return out, nil
+}
+
+type spantraceDoc struct {
+	Overhead   float64 `json:"overhead_frac"`
+	SpansPerOp float64 `json:"spans_per_op"`
+}
+
+func compareSpantrace(artifact string, committed, fresh []byte) ([]Finding, error) {
+	var c, f spantraceDoc
+	if err := decodeBoth(artifact, committed, fresh, &c, &f); err != nil {
+		return nil, err
+	}
+	var out []Finding
+	if f.Overhead > overheadCeiling {
+		out = append(out, Finding{artifact, "overhead",
+			fmt.Sprintf("overhead_frac %.4f exceeds ceiling %.2f (committed %.4f)",
+				f.Overhead, overheadCeiling, c.Overhead)})
+	}
+	if !withinFrac(f.SpansPerOp, c.SpansPerOp, spansPerOpTolFrac) {
+		out = append(out, Finding{artifact, "spans-per-op",
+			fmt.Sprintf("spans_per_op %.1f drifted beyond %.0f%% of committed %.1f",
+				f.SpansPerOp, spansPerOpTolFrac*100, c.SpansPerOp)})
+	}
+	return out, nil
+}
+
+type sweepDoc struct {
+	Sweeps []struct {
+		Label         string `json:"label"`
+		Deterministic bool   `json:"deterministic"`
+		Fingerprint   string `json:"fingerprint"`
+		Errors        int    `json:"errors"`
+		Metrics       []struct {
+			Name string  `json:"name"`
+			Mean float64 `json:"mean"`
+		} `json:"metrics"`
+	} `json:"sweeps"`
+}
+
+func compareSweep(artifact string, committed, fresh []byte) ([]Finding, error) {
+	var c, f sweepDoc
+	if err := decodeBoth(artifact, committed, fresh, &c, &f); err != nil {
+		return nil, err
+	}
+	var out []Finding
+	for _, cs := range c.Sweeps {
+		found := false
+		for _, fs := range f.Sweeps {
+			if fs.Label != cs.Label {
+				continue
+			}
+			found = true
+			if !fs.Deterministic {
+				out = append(out, Finding{artifact, "sweep-deterministic",
+					fmt.Sprintf("%s: serial and parallel runs diverged", cs.Label)})
+			}
+			if fs.Errors > 0 {
+				out = append(out, Finding{artifact, "sweep-errors",
+					fmt.Sprintf("%s: %d replicas failed (committed %d)", cs.Label, fs.Errors, cs.Errors)})
+			}
+			// The fingerprint covers every replica's seed, params, and
+			// metrics: any behavioral change in the simulation shows up
+			// here exactly.
+			if fs.Fingerprint != cs.Fingerprint {
+				out = append(out, Finding{artifact, "sweep-fingerprint",
+					fmt.Sprintf("%s: fingerprint %s != committed %s", cs.Label, fs.Fingerprint, cs.Fingerprint)})
+			}
+			for _, cm := range cs.Metrics {
+				got, ok := findMean(fs.Metrics, cm.Name)
+				if !ok {
+					out = append(out, Finding{artifact, "sweep-metric",
+						fmt.Sprintf("%s: metric %s missing from fresh run", cs.Label, cm.Name)})
+					continue
+				}
+				if !withinFrac(got, cm.Mean, sweepMeanTol) {
+					out = append(out, Finding{artifact, "sweep-metric",
+						fmt.Sprintf("%s: %s mean %v != committed %v", cs.Label, cm.Name, got, cm.Mean)})
+				}
+			}
+			break
+		}
+		if !found {
+			out = append(out, Finding{artifact, "sweep-missing",
+				fmt.Sprintf("sweep %s absent from fresh run", cs.Label)})
+		}
+	}
+	return out, nil
+}
+
+func findMean(metrics []struct {
+	Name string  `json:"name"`
+	Mean float64 `json:"mean"`
+}, name string) (float64, bool) {
+	for _, m := range metrics {
+		if m.Name == name {
+			return m.Mean, true
+		}
+	}
+	return 0, false
+}
+
+func decodeBoth(artifact string, committed, fresh []byte, c, f any) error {
+	if err := json.Unmarshal(committed, c); err != nil {
+		return fmt.Errorf("regress %s: committed artifact: %w", artifact, err)
+	}
+	if err := json.Unmarshal(fresh, f); err != nil {
+		return fmt.Errorf("regress %s: fresh artifact: %w", artifact, err)
+	}
+	return nil
+}
+
+// withinFrac reports whether got is within tol×|want| of want (exact
+// match required when want is zero and tol scales nothing).
+func withinFrac(got, want, tol float64) bool {
+	return math.Abs(got-want) <= tol*math.Abs(want)
+}

@@ -1,0 +1,146 @@
+package regress
+
+import (
+	"strings"
+	"testing"
+)
+
+const netsimCommitted = `{
+  "schema": "spiderfs-netsim-bench/1",
+  "results": [
+    {"name": "start_finish/map_baseline", "ns_per_op": 11399.5, "allocs_per_op": 62},
+    {"name": "start_finish/ordered", "ns_per_op": 1663.5, "allocs_per_op": 4}
+  ],
+  "start_finish_alloc_ratio": 15.5,
+  "start_finish_speedup": 6.85
+}`
+
+const spantraceCommitted = `{
+  "schema": "spiderfs-spantrace-bench/1",
+  "overhead_frac": -0.084,
+  "spans_per_op": 518.75
+}`
+
+const sweepCommitted = `{
+  "schema": "spiderfs-sweep-bench/1",
+  "cpus": 8,
+  "workers": 8,
+  "sweeps": [
+    {
+      "label": "e18-chaos", "replicas": 32, "seed": 42, "workers": 8,
+      "serial_ns": 250000000, "parallel_ns": 60000000, "speedup": 4.1,
+      "deterministic": true, "fingerprint": "64bbdc892ff233d8", "errors": 0,
+      "metrics": [
+        {"name": "availability", "n": 32, "mean": 0.9964},
+        {"name": "incidents", "n": 32, "mean": 26.25}
+      ]
+    }
+  ]
+}`
+
+func mustCompare(t *testing.T, artifact, committed, fresh string) []Finding {
+	t.Helper()
+	out, err := Compare(artifact, []byte(committed), []byte(fresh))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func wantCheck(t *testing.T, findings []Finding, check string) {
+	t.Helper()
+	for _, f := range findings {
+		if f.Check == check {
+			return
+		}
+	}
+	t.Errorf("no %s finding in %v", check, findings)
+}
+
+func TestIdenticalArtifactsPass(t *testing.T) {
+	for _, c := range []struct{ name, doc string }{
+		{"BENCH_netsim.json", netsimCommitted},
+		{"BENCH_spantrace.json", spantraceCommitted},
+		{"BENCH_sweep.json", sweepCommitted},
+	} {
+		if out := mustCompare(t, c.name, c.doc, c.doc); len(out) != 0 {
+			t.Errorf("%s vs itself: %v", c.name, out)
+		}
+	}
+}
+
+// TestPerturbedSweepFails is the sabotage test: hand-edit the fresh
+// artifact the way a behavioral regression would (different
+// fingerprint, shifted mean) and the gate must trip.
+func TestPerturbedSweepFails(t *testing.T) {
+	perturbed := strings.Replace(sweepCommitted, "64bbdc892ff233d8", "deadbeefdeadbeef", 1)
+	perturbed = strings.Replace(perturbed, `"mean": 0.9964`, `"mean": 0.9876`, 1)
+	out := mustCompare(t, "BENCH_sweep.json", sweepCommitted, perturbed)
+	wantCheck(t, out, "sweep-fingerprint")
+	wantCheck(t, out, "sweep-metric")
+}
+
+func TestSweepStructuralRegressions(t *testing.T) {
+	broken := strings.Replace(sweepCommitted, `"deterministic": true`, `"deterministic": false`, 1)
+	broken = strings.Replace(broken, `"errors": 0`, `"errors": 3`, 1)
+	out := mustCompare(t, "BENCH_sweep.json", sweepCommitted, broken)
+	wantCheck(t, out, "sweep-deterministic")
+	wantCheck(t, out, "sweep-errors")
+
+	empty := `{"schema": "spiderfs-sweep-bench/1", "sweeps": []}`
+	wantCheck(t, mustCompare(t, "BENCH_sweep.json", sweepCommitted, empty), "sweep-missing")
+}
+
+func TestSweepSpeedupNotGated(t *testing.T) {
+	// Wall-clock speedup varies by host CPU count and is recorded, not
+	// gated: a 1-CPU runner regenerating the artifact must still pass.
+	slow := strings.Replace(sweepCommitted, `"speedup": 4.1`, `"speedup": 0.93`, 1)
+	if out := mustCompare(t, "BENCH_sweep.json", sweepCommitted, slow); len(out) != 0 {
+		t.Errorf("speedup drift should not trip the gate: %v", out)
+	}
+}
+
+func TestNetsimGates(t *testing.T) {
+	bad := strings.Replace(netsimCommitted, `"start_finish_alloc_ratio": 15.5`,
+		`"start_finish_alloc_ratio": 3.2`, 1)
+	wantCheck(t, mustCompare(t, "BENCH_netsim.json", netsimCommitted, bad), "alloc-ratio")
+
+	slow := strings.Replace(netsimCommitted, `"start_finish_speedup": 6.85`,
+		`"start_finish_speedup": 0.8`, 1)
+	wantCheck(t, mustCompare(t, "BENCH_netsim.json", netsimCommitted, slow), "speedup")
+
+	leaky := strings.Replace(netsimCommitted,
+		`{"name": "start_finish/ordered", "ns_per_op": 1663.5, "allocs_per_op": 4}`,
+		`{"name": "start_finish/ordered", "ns_per_op": 1663.5, "allocs_per_op": 40}`, 1)
+	wantCheck(t, mustCompare(t, "BENCH_netsim.json", netsimCommitted, leaky), "allocs-per-op")
+
+	// Small drift stays inside the tolerances.
+	drift := strings.Replace(netsimCommitted, `"start_finish_alloc_ratio": 15.5`,
+		`"start_finish_alloc_ratio": 13.0`, 1)
+	if out := mustCompare(t, "BENCH_netsim.json", netsimCommitted, drift); len(out) != 0 {
+		t.Errorf("in-tolerance drift tripped the gate: %v", out)
+	}
+}
+
+func TestSpantraceGates(t *testing.T) {
+	bad := strings.Replace(spantraceCommitted, `"overhead_frac": -0.084`,
+		`"overhead_frac": 0.11`, 1)
+	wantCheck(t, mustCompare(t, "BENCH_spantrace.json", spantraceCommitted, bad), "overhead")
+
+	sparse := strings.Replace(spantraceCommitted, `"spans_per_op": 518.75`,
+		`"spans_per_op": 120.0`, 1)
+	wantCheck(t, mustCompare(t, "BENCH_spantrace.json", spantraceCommitted, sparse), "spans-per-op")
+}
+
+func TestSchemaMismatchAndErrors(t *testing.T) {
+	other := strings.Replace(spantraceCommitted, "spiderfs-spantrace-bench/1",
+		"spiderfs-spantrace-bench/2", 1)
+	wantCheck(t, mustCompare(t, "BENCH_spantrace.json", spantraceCommitted, other), "schema")
+
+	if _, err := Compare("x.json", []byte("{not json"), []byte("{}")); err == nil {
+		t.Error("malformed committed artifact should error")
+	}
+	if _, err := Compare("x.json", []byte(`{"schema":"nope/9"}`), []byte(`{"schema":"nope/9"}`)); err == nil {
+		t.Error("unknown schema should error")
+	}
+}

@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTCritical95Table(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{1, 12.706}, {2, 4.303}, {5, 2.571}, {10, 2.228}, {30, 2.042},
+		{40, 2.021}, {60, 2.000}, {120, 1.980},
+	}
+	for _, c := range cases {
+		if got := TCritical95(c.df); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("TCritical95(%d) = %v, want %v", c.df, got, c.want)
+		}
+	}
+	// Interpolated values sit between their anchors and decrease
+	// monotonically toward the normal limit.
+	prev := TCritical95(30)
+	for _, df := range []int{35, 50, 90, 200, 1000, 100000} {
+		got := TCritical95(df)
+		if got >= prev || got < tCrit95Normal {
+			t.Errorf("TCritical95(%d) = %v, want in (%v, %v)", df, got, tCrit95Normal, prev)
+		}
+		prev = got
+	}
+	if !math.IsNaN(TCritical95(0)) {
+		t.Error("TCritical95(0) should be NaN")
+	}
+}
+
+func TestMeanCI95(t *testing.T) {
+	// n=5, mean 30, sample stddev sqrt(250)=15.811...:
+	// half = 2.776 * 15.8114 / sqrt(5) = 19.6304...
+	vals := []float64{10, 20, 30, 40, 50}
+	mean, half := MeanCI95(vals)
+	if mean != 30 {
+		t.Errorf("mean = %v, want 30", mean)
+	}
+	want := 2.776 * math.Sqrt(250) / math.Sqrt(5)
+	if math.Abs(half-want) > 1e-9 {
+		t.Errorf("half = %v, want %v", half, want)
+	}
+
+	// Degenerate inputs: no spread info -> zero half-width.
+	if _, h := MeanCI95(nil); h != 0 {
+		t.Errorf("half of empty = %v, want 0", h)
+	}
+	if _, h := MeanCI95([]float64{7}); h != 0 {
+		t.Errorf("half of singleton = %v, want 0", h)
+	}
+
+	// Identical values -> zero half-width, exact mean.
+	m, h := MeanCI95([]float64{3, 3, 3, 3})
+	if m != 3 || h != 0 {
+		t.Errorf("constant series: mean %v half %v, want 3, 0", m, h)
+	}
+}
+
+func TestSummaryCI95HalfMatchesMeanCI95(t *testing.T) {
+	vals := []float64{1.5, 2.25, -4, 8, 0.5, 3, 3, 9.75}
+	var s Summary
+	for _, v := range vals {
+		s.Add(v)
+	}
+	_, want := MeanCI95(vals)
+	if got := s.CI95Half(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Summary.CI95Half = %v, want %v", got, want)
+	}
+}

@@ -2,27 +2,76 @@
 # Tier-1 verification (see ROADMAP.md): full build + tests, vet, the
 # simlint invariant suite, and race-mode runs of the concurrency- and
 # engine-adjacent packages.
-set -eux
+#
+# Stages (for the CI matrix; default runs everything):
+#   ./verify.sh build   — gofmt gate, build, vet, simlint
+#   ./verify.sh test    — shuffled full test run + determinism double-run
+#   ./verify.sh race    — race-mode runs of the concurrency-adjacent packages
+#   ./verify.sh bench   — one-iteration benchmark smoke
+#   ./verify.sh all     — all of the above, in order
+set -eu
 
-go build ./...
-go vet ./...
+stage="${1:-all}"
 
-# simlint: the determinism & hygiene analyzer suite (DESIGN.md
-# "Enforced invariants"). Zero diagnostics or the build fails.
-go run ./cmd/simlint
+stage_build() {
+	# gofmt gate: formatting drift fails loudly instead of churning
+	# later diffs. gofmt -l prints offenders; any output is a failure.
+	badfmt=$(gofmt -l .)
+	if [ -n "$badfmt" ]; then
+		echo "gofmt needed on: $badfmt" >&2
+		exit 1
+	fi
+	set -x
+	go build ./...
+	go vet ./...
+	# simlint: the determinism & hygiene analyzer suite (DESIGN.md
+	# "Enforced invariants"). Zero diagnostics or the build fails.
+	go run ./cmd/simlint
+	set +x
+}
 
-# -shuffle=on randomizes test execution order so inter-test state
-# coupling cannot hide behind a lucky default order.
-go test -shuffle=on ./...
-go test -race ./internal/chaos/... ./internal/failure/... ./internal/sim/... ./internal/netsim/... ./internal/spantrace/...
+stage_test() {
+	set -x
+	# -shuffle=on randomizes test execution order so inter-test state
+	# coupling cannot hide behind a lucky default order.
+	go test -shuffle=on ./...
+	# Determinism double-run: the event-trace regression tests compare
+	# two in-process runs already; -count=2 additionally reruns each
+	# comparison in a fresh map-randomization schedule. The sweep
+	# runner's serial-vs-parallel double-run rides the same gate.
+	go test -count=2 -run 'Deterministic' ./internal/netsim/ ./internal/chaos/ ./internal/sweep/ ./internal/benchsuite/
+	set +x
+}
 
-# Determinism double-run: the event-trace regression tests compare two
-# in-process runs already; -count=2 additionally reruns each comparison
-# in a fresh map-randomization schedule.
-go test -count=2 -run 'Deterministic' ./internal/netsim/ ./internal/chaos/
+stage_race() {
+	set -x
+	go test -race ./internal/chaos/... ./internal/failure/... ./internal/sim/... ./internal/netsim/... ./internal/spantrace/... ./internal/sweep/...
+	set +x
+}
 
-# Benchmark smoke: one iteration of every netsim/sim benchmark,
-# including the Spider II-scale congestion wave and the traced/untraced
-# spantrace pair, so the harnesses behind BENCH_netsim.json and
-# BENCH_spantrace.json cannot rot silently.
-go test -bench . -benchtime=1x -run '^$' ./internal/netsim/ ./internal/sim/ ./internal/netbench/ ./internal/spantrace/
+stage_bench() {
+	set -x
+	# Benchmark smoke: one iteration of every netsim/sim benchmark,
+	# including the Spider II-scale congestion wave and the
+	# traced/untraced spantrace pair, so the harnesses behind
+	# BENCH_netsim.json and BENCH_spantrace.json cannot rot silently.
+	go test -bench . -benchtime=1x -run '^$' ./internal/netsim/ ./internal/sim/ ./internal/netbench/ ./internal/spantrace/
+	set +x
+}
+
+case "$stage" in
+build) stage_build ;;
+test) stage_test ;;
+race) stage_race ;;
+bench) stage_bench ;;
+all)
+	stage_build
+	stage_test
+	stage_race
+	stage_bench
+	;;
+*)
+	echo "usage: ./verify.sh [build|test|race|bench|all]" >&2
+	exit 2
+	;;
+esac
