@@ -21,6 +21,14 @@
 // (the checked-in BENCH_sweep.json is produced by
 // `go run ./cmd/benchsuite -sweep -out BENCH_sweep.json`).
 //
+// With -integrity it runs the E19 data-integrity sweep: the same
+// latent-corruption storm + disk-failure scenario at three scrub
+// intervals (off, default, slow), double-run through the sweep
+// harness (the checked-in BENCH_integrity.json is produced by
+// `go run ./cmd/benchsuite -integrity -out BENCH_integrity.json`;
+// the gate requires exactly zero undetected corrupt reads at the
+// default interval).
+//
 // With -check it is the bench-regression gate: each committed
 // BENCH_*.json in -bench-dir is compared against its freshly generated
 // counterpart in -fresh, and any gate finding (see internal/regress)
@@ -46,7 +54,7 @@ import (
 
 // benchArtifacts are the committed bench JSON files the -check gate
 // knows how to compare (via their schema fields).
-var benchArtifacts = []string{"BENCH_netsim.json", "BENCH_spantrace.json", "BENCH_sweep.json"}
+var benchArtifacts = []string{"BENCH_netsim.json", "BENCH_spantrace.json", "BENCH_sweep.json", "BENCH_integrity.json"}
 
 func main() {
 	cellSec := flag.Float64("cell", 1.0, "seconds per sweep cell (simulated)")
@@ -54,6 +62,7 @@ func main() {
 	netsimSuite := flag.Bool("netsim", false, "run the netsim flow-solver suite instead of the acquisition sweep")
 	spantraceSuite := flag.Bool("spantrace", false, "run the spantrace observer-cost suite instead of the acquisition sweep")
 	sweepSuite := flag.Bool("sweep", false, "run the seed-sweep suite (E3/E13/E18) instead of the acquisition sweep")
+	integritySuite := flag.Bool("integrity", false, "run the E19 data-integrity sweep (scrub interval vs undetected corruption)")
 	workers := flag.Int("workers", 0, "with -sweep, parallel worker count (0 = GOMAXPROCS)")
 	check := flag.Bool("check", false, "regression gate: compare committed BENCH_*.json against -fresh copies")
 	benchDir := flag.String("bench-dir", ".", "with -check, directory holding the committed BENCH_*.json files")
@@ -76,6 +85,10 @@ func main() {
 	}
 	if *sweepSuite {
 		runSweep(*seed, *workers, *out)
+		return
+	}
+	if *integritySuite {
+		runIntegrity(*seed, *workers, *out)
 		return
 	}
 
@@ -105,6 +118,29 @@ func main() {
 func runSweep(seed uint64, workers int, out string) {
 	fmt.Println("== seed sweeps (deterministic parallel replica runner, serial vs parallel double-run) ==")
 	s, err := benchsuite.RunSweepSuite(seed, workers, func() int64 { return time.Now().UnixNano() })
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(1)
+	}
+	fmt.Print(s.Render())
+	if out == "" {
+		return
+	}
+	data, err := s.JSON()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", out)
+}
+
+func runIntegrity(seed uint64, workers int, out string) {
+	fmt.Println("== E19 data-integrity sweep (scrub interval vs undetected corrupt reads) ==")
+	s, err := benchsuite.RunIntegritySuite(seed, workers, func() int64 { return time.Now().UnixNano() })
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchsuite:", err)
 		os.Exit(1)

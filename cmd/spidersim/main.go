@@ -11,19 +11,22 @@
 //	spidersim workflow    — data-centric vs machine-exclusive workflow (E6)
 //	spidersim chaos       — center-wide chaos campaign, featured vs ablated (E18)
 //	spidersim spans       — end-to-end span tracing: waterfall, critical paths, flame
-//	spidersim sweep       — deterministic parallel seed sweeps of E3/E13/E18 with merged CIs
+//	spidersim sweep       — deterministic parallel seed sweeps of E3/E13/E18/E19 with merged CIs
+//	spidersim scrub       — background scrub vs latent-corruption exposure (E19), off vs default
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"spiderfs/internal/benchsuite"
 	"spiderfs/internal/center"
 	"spiderfs/internal/chaos"
 	"spiderfs/internal/disk"
+	"spiderfs/internal/integrity"
 	"spiderfs/internal/lustre"
 	"spiderfs/internal/netsim"
 	"spiderfs/internal/procure"
@@ -54,7 +57,7 @@ func main() {
 	scenario := fs.String("scenario", "fig3", "spans: scenario to trace (fig3|chaos)")
 	every := fs.Int("every", 1, "spans: sample 1-in-N root requests (0 disables tracing)")
 	out := fs.String("out", "", "spans: also export the raw spans as JSON to this file")
-	exp := fs.String("exp", "all", "sweep: which sweep to run (e3|e13|e18|all)")
+	exp := fs.String("exp", "all", "sweep: which sweep to run (e3|e13|e18|e19|all)")
 	replicas := fs.Int("replicas", 0, "sweep: override the replica count per sweep")
 	workers := fs.Int("workers", 0, "sweep: parallel worker count (0 = GOMAXPROCS)")
 	_ = fs.Parse(os.Args[2:])
@@ -86,6 +89,8 @@ func main() {
 		runSpans(*seed, *scenario, *every, *out)
 	case "sweep":
 		runSweep(*seed, *exp, *replicas, *workers)
+	case "scrub":
+		runScrub(*seed)
 	case "arch":
 		c := center.New(center.Config{Scale: 1, Namespaces: 2, Seed: *seed})
 		fmt.Print(c.RenderArchitecture())
@@ -99,21 +104,23 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: spidersim <arch|layers|mixed|checkpoint|slowdisk|incident|purge|namespaces|workflow|fig3|fig4|recovery|chaos|spans|sweep> [-seed N] [-days N] [-full] [-scenario fig3|chaos] [-every N] [-out FILE] [-exp e3|e13|e18|all] [-replicas N] [-workers N]")
+	fmt.Fprintln(os.Stderr, "usage: spidersim <arch|layers|mixed|checkpoint|slowdisk|incident|purge|namespaces|workflow|fig3|fig4|recovery|chaos|spans|sweep|scrub> [-seed N] [-days N] [-full] [-scenario fig3|chaos] [-every N] [-out FILE] [-exp e3|e13|e18|e19|all] [-replicas N] [-workers N]")
 }
 
 // runSweep fans the standard seed sweeps across a worker pool and
 // prints each merged report — the same replica bodies and merge path
 // that `benchsuite -sweep` uses for BENCH_sweep.json, interactively.
 func runSweep(seed uint64, exp string, replicas, workers int) {
-	short := map[string]string{"e3": "e3-slowdisk", "e13": "e13-purge", "e18": "e18-chaos"}
+	short := map[string]string{"e3": "e3-slowdisk", "e13": "e13-purge", "e18": "e18-chaos", "e19": "e19-scrub"}
 	want := exp
 	if w, ok := short[exp]; ok {
 		want = w
 	}
 	ran := 0
-	for _, e := range benchsuite.SweepEntries(seed) {
-		if want != "all" && e.Label != want {
+	entries := append(benchsuite.SweepEntries(seed), benchsuite.IntegrityEntries(seed)...)
+	for _, e := range entries {
+		// Prefix match so "e19-scrub" selects all three scrub-interval sweeps.
+		if want != "all" && !strings.HasPrefix(e.Label, want) {
 			continue
 		}
 		if replicas > 0 {
@@ -132,9 +139,40 @@ func runSweep(seed uint64, exp string, replicas, workers int) {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "sweep: unknown experiment %q (want e3, e13, e18, or all)\n", exp)
+		fmt.Fprintf(os.Stderr, "sweep: unknown experiment %q (want e3, e13, e18, e19, or all)\n", exp)
 		os.Exit(2)
 	}
+}
+
+// runScrub replays the E19 scenario twice under the same seed — scrub
+// off versus the default pass interval — and prints the exposure delta:
+// what the background scrubber buys in undetected corrupt reads, latent
+// rebuild hits, and lost stripes, and what it costs in read latency.
+func runScrub(seed uint64) {
+	fmt.Println("E19: background scrub vs latent-corruption exposure (same storm + disk failure, same seed)")
+	cfg := integrity.DefaultScenario()
+	cfg.Seed = seed
+	off := cfg
+	off.ScrubEvery = 0
+	a, b := integrity.RunScenario(off), integrity.RunScenario(cfg)
+	fmt.Printf("%-28s %14s %14s\n", "", "scrub off", fmt.Sprintf("every %v", cfg.ScrubEvery))
+	row := func(name string, x, y any) { fmt.Printf("%-28s %14v %14v\n", name, x, y) }
+	row("reads served", a.Reads, b.Reads)
+	row("undetected corrupt reads", a.UndetectedReads, b.UndetectedReads)
+	row("repaired on read", a.RepairedChunks, b.RepairedChunks)
+	row("repaired by scrub", a.ScrubRepairs, b.ScrubRepairs)
+	row("UREs detected", a.UREsDetected, b.UREsDetected)
+	row("checksum mismatches", a.Mismatches, b.Mismatches)
+	row("stripes lost (beyond parity)", a.LostStripes, b.LostStripes)
+	row("latent hits during rebuild", a.RebuildHits, b.RebuildHits)
+	row("rebuild exposure window", a.RebuildWindow, b.RebuildWindow)
+	row("scrub passes", a.ScrubPasses, b.ScrubPasses)
+	row("mean read latency (ms)",
+		fmt.Sprintf("%.2f", a.MeanReadMs), fmt.Sprintf("%.2f", b.MeanReadMs))
+	if a.MeanReadMs > 0 {
+		fmt.Printf("scrub read-latency overhead: %.1f%%\n", (b.MeanReadMs/a.MeanReadMs-1)*100)
+	}
+	fmt.Println("(paper Sec. V: latent sector errors surface during rebuilds; periodic scrub closes the double-failure window)")
 }
 
 // runSpans traces a scenario end to end with the spantrace plane and

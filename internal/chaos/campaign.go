@@ -6,6 +6,7 @@ import (
 	"spiderfs/internal/center"
 	"spiderfs/internal/disk"
 	"spiderfs/internal/failure"
+	"spiderfs/internal/integrity"
 	"spiderfs/internal/lustre"
 	"spiderfs/internal/monitor"
 	"spiderfs/internal/netsim"
@@ -58,6 +59,21 @@ type Config struct {
 	CableDegradeFrac     float64
 	CableRepair          sim.Time
 
+	// Data-integrity plane (§IV-E). MediaFaults arms rate-driven latent
+	// media errors (drive-reported UREs and silent bit rot) on every
+	// member disk; CorruptionStormAt sprays CorruptionStormErrors silent
+	// sectors uniformly across the fleet (a firmware-bug-class event); a
+	// positive ScrubInterval runs a background scrubber over every RAID
+	// group with the rebuild-style batch/pause throttle. VerifyPolicy
+	// selects when foreground reads verify stripe checksums.
+	MediaFaults           disk.FaultConfig
+	CorruptionStormAt     sim.Time
+	CorruptionStormErrors int
+	ScrubInterval         sim.Time
+	ScrubBatch            int64
+	ScrubPause            sim.Time
+	VerifyPolicy          raid.VerifyPolicy
+
 	// Scripted MDS outage against namespace 0 (zero At disables).
 	MDSOutageAt       sim.Time
 	MDSOutageDuration sim.Time
@@ -109,6 +125,18 @@ func DefaultConfig(seed uint64) Config {
 
 		OSSCrashInterval: 12 * sim.Hour,
 
+		MediaFaults:           disk.FaultConfig{UREPerGBRead: 0.0005, SilentPerGBWritten: 0.001},
+		CorruptionStormAt:     4 * sim.Day,
+		CorruptionStormErrors: 400,
+		// Scrub quanta sized for 2 TB members (~15M stripes per group,
+		// 2,016 groups): 8 GiB batches every 30 min walk a full device
+		// in ~5 days — the realistic background-scrub duty cycle — while
+		// keeping the campaign's event count bounded. The quick config
+		// below re-tightens all three for its 2 GiB members.
+		ScrubInterval: 12 * sim.Hour,
+		ScrubBatch:    1 << 16,
+		ScrubPause:    30 * sim.Minute,
+
 		RouterBurstInterval: 24 * sim.Hour,
 		RouterBurstSize:     3,
 		RouterRepair:        2 * sim.Hour,
@@ -150,6 +178,14 @@ func QuickConfig(seed uint64) Config {
 	c.CableRepair = 2 * sim.Hour
 	c.MDSOutageAt = 14 * sim.Hour
 	c.MDSOutageDuration = 10 * sim.Minute
+	// Media wear hot enough that scrub passes find and repair real
+	// defects within the single simulated day.
+	c.MediaFaults = disk.FaultConfig{UREPerGBRead: 0.02, SilentPerGBWritten: 0.05}
+	c.CorruptionStormAt = 8 * sim.Hour
+	c.CorruptionStormErrors = 300
+	c.ScrubInterval = 2 * sim.Hour
+	c.ScrubBatch = 512
+	c.ScrubPause = 500 * sim.Millisecond
 	c.EnclosureLossAt = 5 * sim.Hour
 	c.EnclosureRepair = 2 * sim.Hour
 	c.ProbeInterval = sim.Hour
@@ -181,6 +217,7 @@ type campaign struct {
 	grpName   map[*raid.Group]string
 	injectors []*failure.Injector
 	probers   []*lustre.Client
+	scrubbers []*integrity.Scrubber
 	degraded  map[int]bool // router-uplink index -> currently degraded
 	uplinks   []*netsim.Link
 
@@ -232,11 +269,16 @@ func Run(cfg Config) *Report {
 	p.startCableDegradation()
 	p.scheduleMDSOutage()
 	p.scheduleEnclosureLoss()
+	p.scheduleCorruptionStorm()
+	p.startScrubbers()
 	p.startProbes()
 
 	eng.RunUntil(cfg.Duration)
 	for _, in := range p.injectors {
 		in.Stop()
+	}
+	for _, s := range p.scrubbers {
+		s.Stop()
 	}
 	ledger.Close()
 	p.coal.Close()
@@ -276,6 +318,7 @@ func cableName(rid int) string                { return fmt.Sprintf("cable%d", ri
 // depending on its RAID group, its serving OSS, and the MDS; plus one
 // cable -> router chain per LNET router.
 func (p *campaign) buildGraph() {
+	media := rng.New(p.cfg.Seed).Split("chaos-media")
 	for ns, fs := range p.c.Namespaces {
 		p.graph.Add(mdsName(fs), KindMDS)
 		p.graph.Add(nsName(fs), KindNamespace, mdsName(fs))
@@ -290,6 +333,17 @@ func (p *campaign) buildGraph() {
 			p.graph.Add(ostName(fs, i), KindOST, gn, ossName(fs, fs.OSSOf(i)), mdsName(fs))
 			g.RebuildChunk = p.cfg.RebuildChunk
 			g.RebuildPause = p.cfg.RebuildPause
+			g.Verify = p.cfg.VerifyPolicy
+			if p.cfg.MediaFaults.Enabled() {
+				for j, d := range g.Disks() {
+					d.SetFaultInjection(p.cfg.MediaFaults, media.Split(fmt.Sprintf("%s-d%d", gn, j)))
+				}
+			}
+			g.OnStripeLoss = func(int64) {
+				// A stripe whose defects exceeded parity: latent data
+				// loss, surfaced to monitoring like any other fault.
+				p.emit(gn, monitor.Hardware, "latent-data-loss")
+			}
 		}
 	}
 	for rid := 0; rid < p.c.Fabric.NumRouters(); rid++ {
@@ -498,6 +552,50 @@ func (p *campaign) scheduleEnclosureLoss() {
 	})
 }
 
+// scheduleCorruptionStorm sprays silent bit rot uniformly across every
+// member disk in the fleet — the firmware-bug-class event that seeds
+// the latent errors scrubbing exists to find before rebuilds do.
+func (p *campaign) scheduleCorruptionStorm() {
+	if p.cfg.CorruptionStormAt <= 0 || p.cfg.CorruptionStormErrors <= 0 {
+		return
+	}
+	src := rng.New(p.cfg.Seed).Split("chaos-corruption")
+	p.eng.At(p.cfg.CorruptionStormAt, func() {
+		var dsks []*disk.Disk
+		for ns := range p.c.Namespaces {
+			for _, g := range p.c.GroupsOf(ns) {
+				dsks = append(dsks, g.Disks()...)
+			}
+		}
+		for k := 0; k < p.cfg.CorruptionStormErrors; k++ {
+			d := dsks[src.Intn(len(dsks))]
+			d.InjectError(src.Int63n(d.Config().Capacity), disk.Silent)
+		}
+		p.rep.CorruptionStorms++
+		p.emit("fleet", monitor.Hardware, "corruption-storm")
+	})
+}
+
+// startScrubbers arms one background scrubber per RAID group. The
+// scrubber draws no randomness, so enabling it perturbs no fault
+// schedule — only the I/O it issues and the repairs it makes.
+func (p *campaign) startScrubbers() {
+	if p.cfg.ScrubInterval <= 0 {
+		return
+	}
+	for ns := range p.c.Namespaces {
+		for _, g := range p.c.GroupsOf(ns) {
+			s := integrity.New(p.eng, g, integrity.Config{
+				BatchStripes: p.cfg.ScrubBatch,
+				BatchPause:   p.cfg.ScrubPause,
+				PassInterval: p.cfg.ScrubInterval,
+			})
+			s.Start()
+			p.scrubbers = append(p.scrubbers, s)
+		}
+	}
+}
+
 // startProbes pulses a striped write through the full I/O path of every
 // namespace on a fixed cadence and records delivered throughput. A
 // probe against a namespace whose MDS is down is recorded as an
@@ -512,6 +610,7 @@ func (p *campaign) startProbes() {
 		ns, fs := ns, fs
 		cl := lustre.NewClient(9000+ns, topology.Coord{X: 1, Y: 1, Z: 1}, fs, p.c.Transport(ns))
 		cl.RPCTimeout = 100 * sim.Second
+		cl.BackoffSrc = rng.New(p.cfg.Seed).Split(fmt.Sprintf("chaos-backoff-%d", ns))
 		cl.Tracer = p.cfg.Tracer
 		p.probers = append(p.probers, cl)
 		pulse := 0
@@ -558,14 +657,32 @@ func (p *campaign) finishReport() {
 	for _, cl := range p.probers {
 		r.RPCTimeouts += cl.RPCTimeouts
 		r.RPCRetries += cl.RPCRetries
+		r.BackoffWaits += cl.BackoffWaits
+		r.BackoffWait += cl.BackoffWait
 	}
 	for ns, fs := range p.c.Namespaces {
 		for _, g := range p.c.GroupsOf(ns) {
 			r.GroupIOErrors += g.IOErrors
+			r.UREsDetected += g.UREsDetected
+			r.ChecksumMismatches += g.ChecksumMismatches
+			r.RepairedChunks += g.RepairedChunks
+			r.ScrubRepairs += g.ScrubRepairs
+			r.UndetectedCorruptReads += g.UndetectedCorruptReads
+			r.RebuildLatentHits += g.RebuildLatentHits
+			r.LatentDataLoss += g.UnrecoverableStripes
+			r.LostStripeReads += g.LostStripeReads
 		}
 		for _, s := range fs.OSSes {
 			r.OSSDoubleFaults += s.DoubleFaults
 		}
+		for _, o := range fs.OSTs {
+			r.ReadEIOs += o.ReadEIOs
+		}
+	}
+	for _, s := range p.scrubbers {
+		r.ScrubPasses += s.Passes
+		r.ScrubbedStripes += s.ScannedStripes
+		r.ScrubRebuildOverlaps += s.RebuildOverlaps
 	}
 	r.Incidents = len(p.coal.Incidents)
 	for _, inc := range p.coal.Incidents {

@@ -40,8 +40,28 @@ type Report struct {
 	StallTime       sim.Time
 	RPCTimeouts     uint64
 	RPCRetries      uint64
+	BackoffWaits    uint64
+	BackoffWait     sim.Time
 	GroupIOErrors   uint64
 	OSSDoubleFaults uint64
+
+	// Data-integrity plane: what the scrubber and read-time verification
+	// found, fixed, and could not fix. LatentDataLoss counts stripes
+	// whose defects exceeded parity — escalated to the ledger as
+	// data-loss events, never panicked.
+	CorruptionStorms       int
+	ScrubPasses            int
+	ScrubbedStripes        int64
+	ScrubRepairs           uint64
+	RepairedChunks         uint64
+	UREsDetected           uint64
+	ChecksumMismatches     uint64
+	UndetectedCorruptReads uint64
+	RebuildLatentHits      uint64
+	ScrubRebuildOverlaps   int
+	LatentDataLoss         int64
+	LostStripeReads        uint64
+	ReadEIOs               uint64
 
 	// Monitoring view.
 	Incidents         int
@@ -146,8 +166,23 @@ func (r *Report) Fingerprint() uint64 {
 	t(r.StallTime)
 	u(r.RPCTimeouts)
 	u(r.RPCRetries)
+	u(r.BackoffWaits)
+	t(r.BackoffWait)
 	u(r.GroupIOErrors)
 	u(r.OSSDoubleFaults)
+	i(r.CorruptionStorms)
+	i(r.ScrubPasses)
+	i(int(r.ScrubbedStripes))
+	u(r.ScrubRepairs)
+	u(r.RepairedChunks)
+	u(r.UREsDetected)
+	u(r.ChecksumMismatches)
+	u(r.UndetectedCorruptReads)
+	u(r.RebuildLatentHits)
+	i(r.ScrubRebuildOverlaps)
+	i(int(r.LatentDataLoss))
+	u(r.LostStripeReads)
+	u(r.ReadEIOs)
 	i(r.Incidents)
 	i(r.HardwareIncidents)
 	i(r.OSTs)
@@ -192,8 +227,16 @@ func (r *Report) String() string {
 		r.CableDegradations, r.MDSOutages, r.EnclosureGroupsFailed)
 	fmt.Fprintf(&b, "cascade propagation: %d dependent components taken down\n", r.Cascades)
 	fmt.Fprintf(&b, "error paths exercised: %d dropped flows, %d stalled sends (%v stalled), "+
-		"%d rpc timeouts, %d group EIOs\n",
-		r.DroppedFlows, r.StalledSends, r.StallTime, r.RPCTimeouts, r.GroupIOErrors)
+		"%d rpc timeouts (%d backed off, %v extra wait), %d group EIOs\n",
+		r.DroppedFlows, r.StalledSends, r.StallTime, r.RPCTimeouts,
+		r.BackoffWaits, r.BackoffWait, r.GroupIOErrors)
+	fmt.Fprintf(&b, "integrity: %d scrub passes over %d stripes, %d repairs (%d by scrub), "+
+		"%d UREs, %d checksum mismatches\n",
+		r.ScrubPasses, r.ScrubbedStripes, r.RepairedChunks, r.ScrubRepairs,
+		r.UREsDetected, r.ChecksumMismatches)
+	fmt.Fprintf(&b, "data loss: %d stripes beyond parity (latent), %d undetected corrupt reads, "+
+		"%d rebuild latent hits, %d EIO reads\n",
+		r.LatentDataLoss, r.UndetectedCorruptReads, r.RebuildLatentHits, r.ReadEIOs)
 	fmt.Fprintf(&b, "monitoring: %d incidents coalesced (%d hardware-rooted)\n",
 		r.Incidents, r.HardwareIncidents)
 	fmt.Fprintf(&b, "availability: %.5f (%v of OST downtime across %d OSTs)\n",

@@ -110,6 +110,13 @@ type Disk struct {
 
 	lastEnd int64 // LBA following the previous command, for sequential detection
 
+	// Latent media-error model (faults.go). faultSrc is a dedicated
+	// stream: disarmed disks draw nothing, so enabling injection on one
+	// disk never perturbs another model's randomness.
+	faults   FaultConfig
+	faultSrc *rng.Source
+	media    map[int64]CorruptKind // corrupt sector index -> defect kind
+
 	// Tracer, when set, records a span per command plus the
 	// seek/rotate/transfer/tail decomposition (spantrace plane).
 	Tracer *spantrace.Tracer
@@ -119,6 +126,11 @@ type Disk struct {
 	Bytes    int64
 	Latency  stats.Summary // per-command service latency in milliseconds
 	SlowCmds uint64        // commands that took a tail excursion
+
+	// Integrity counters (faults.go).
+	InjectedUREs    uint64 // drive-detectable defects seeded
+	InjectedSilent  uint64 // silent (bit-rot) defects seeded
+	RepairedSectors uint64 // defects healed by overwrites and repairs
 }
 
 // New creates a disk with the given personality.
@@ -213,6 +225,7 @@ func (d *Disk) Submit(op Op, done func()) {
 	if op.Size <= 0 || op.LBA < 0 || op.LBA+op.Size > d.cfg.Capacity {
 		panic(fmt.Sprintf("disk: invalid op lba=%d size=%d cap=%d", op.LBA, op.Size, d.cfg.Capacity)) //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
+	d.applyFaults(op)
 	pts := d.serviceParts(op)
 	st := pts.total()
 	d.lastEnd = op.LBA + op.Size

@@ -1,0 +1,173 @@
+package integrity
+
+import (
+	"testing"
+
+	"spiderfs/internal/disk"
+	"spiderfs/internal/raid"
+	"spiderfs/internal/rng"
+	"spiderfs/internal/sim"
+)
+
+func scrubGroup(t *testing.T, seed uint64) (*sim.Engine, *raid.Group) {
+	t.Helper()
+	eng := sim.NewEngine()
+	src := rng.New(seed)
+	cfg := raid.Spider2Group()
+	dcfg := disk.NLSAS2TB()
+	dcfg.Capacity = 64 << 20
+	members := make([]*disk.Disk, cfg.Width())
+	for i := range members {
+		members[i] = disk.New(eng, i, dcfg, disk.Nominal(), src.Split("d"))
+	}
+	return eng, raid.NewGroup(eng, 0, cfg, members)
+}
+
+func TestScrubberPassesWrapAndRepair(t *testing.T) {
+	eng, g := scrubGroup(t, 31)
+	// Plant silent defects the first pass must find.
+	src := rng.New(9).Split("defects")
+	for i := 0; i < 10; i++ {
+		m := src.Intn(10)
+		g.Disks()[m].InjectError(src.Int63n(64<<20), disk.Silent)
+	}
+	planted := 0
+	for _, d := range g.Disks() {
+		planted += d.CorruptSectors()
+	}
+	s := New(eng, g, Config{BatchStripes: 128, BatchPause: sim.Second, PassInterval: sim.Minute})
+	s.Start()
+	if !s.Running() {
+		t.Fatal("Start did not arm the scrubber")
+	}
+	s.Start() // idempotent
+	eng.RunFor(10 * sim.Minute)
+	s.Stop()
+	eng.Run()
+	if s.Passes < 2 {
+		t.Fatalf("Passes = %d, want multiple full-device passes in 10 min", s.Passes)
+	}
+	if s.Repairs != planted {
+		t.Fatalf("Repairs = %d, want the %d planted defects healed", s.Repairs, planted)
+	}
+	if s.ScannedStripes < g.TotalStripes()*2 {
+		t.Fatalf("ScannedStripes = %d over %d passes", s.ScannedStripes, s.Passes)
+	}
+	for _, d := range g.Disks() {
+		if d.CorruptSectors() != 0 {
+			t.Fatal("scrubbed array still holds corrupt sectors")
+		}
+	}
+}
+
+func TestScrubberStopCancelsPendingBatch(t *testing.T) {
+	eng, g := scrubGroup(t, 32)
+	s := New(eng, g, Config{BatchStripes: 64, BatchPause: sim.Minute, PassInterval: sim.Hour})
+	s.Start()
+	eng.RunFor(10 * sim.Second) // first batch done, next is pending
+	scanned := s.ScannedStripes
+	if scanned == 0 {
+		t.Fatal("no stripes scanned before Stop")
+	}
+	s.Stop()
+	if s.Running() {
+		t.Fatal("Stop left the scrubber running")
+	}
+	eng.RunFor(10 * sim.Minute)
+	if s.ScannedStripes != scanned {
+		t.Fatalf("scrubber kept scanning after Stop: %d -> %d", scanned, s.ScannedStripes)
+	}
+}
+
+func TestScrubberHaltsOnGroupFailure(t *testing.T) {
+	eng, g := scrubGroup(t, 33)
+	s := New(eng, g, Config{BatchStripes: 64, BatchPause: sim.Second, PassInterval: sim.Second})
+	s.Start()
+	eng.RunFor(5 * sim.Second)
+	g.FailDisk(0)
+	g.FailDisk(1)
+	g.FailDisk(2) // group failed
+	eng.RunFor(10 * sim.Minute)
+	if s.Running() {
+		t.Fatal("scrubber still armed over a failed group")
+	}
+}
+
+func TestScrubberCountsRebuildOverlaps(t *testing.T) {
+	eng, g := scrubGroup(t, 34)
+	g.RebuildChunk = 8
+	g.RebuildPause = 10 * sim.Second
+	g.FailDisk(3)
+	// Latent URE on a survivor: the scrub finds it mid-rebuild.
+	g.Disks()[5].InjectError(100*g.Config().ChunkSize, disk.URE)
+	repl := disk.New(eng, 99, g.Disks()[0].Config(), disk.Nominal(), rng.New(4).Split("r"))
+	g.StartRebuild(3, repl, nil)
+	s := New(eng, g, Config{BatchStripes: 512, BatchPause: sim.Second, PassInterval: sim.Hour})
+	s.Start()
+	eng.RunFor(5 * sim.Second)
+	if s.RebuildOverlaps == 0 || s.Repairs == 0 {
+		t.Fatalf("overlaps/repairs = %d/%d, want scrub-during-rebuild defect counted",
+			s.RebuildOverlaps, s.Repairs)
+	}
+	s.Stop()
+	eng.Run()
+}
+
+// TestE19ScenarioDeterministic pins the replica contract: same config,
+// bit-identical result — including with the scrubber off (stream
+// isolation: disabling scrub must not shift any model stream).
+func TestE19ScenarioDeterministic(t *testing.T) {
+	for _, scrub := range []sim.Time{0, DefaultScrubInterval} {
+		cfg := DefaultScenario()
+		cfg.Seed = 42
+		cfg.ScrubEvery = scrub
+		a := RunScenario(cfg)
+		b := RunScenario(cfg)
+		if a != b {
+			t.Fatalf("scrub=%v: double run diverged:\n%+v\n%+v", scrub, a, b)
+		}
+	}
+}
+
+// TestE19ZeroUndetectedAtDefaultInterval pins the headline acceptance
+// property: at the default scrub interval the scrubber wins the race
+// against foreground reads for every freshly corrupted sector.
+func TestE19ZeroUndetectedAtDefaultInterval(t *testing.T) {
+	base := DefaultScenario()
+	for seed := uint64(1); seed <= 20; seed++ {
+		cfg := base
+		cfg.Seed = seed
+		r := RunScenario(cfg)
+		if r.UndetectedReads != 0 {
+			t.Fatalf("seed %d: %d undetected corrupt reads at default interval", seed, r.UndetectedReads)
+		}
+		if r.LostStripes != 0 {
+			t.Fatalf("seed %d: %d stripes lost at default interval", seed, r.LostStripes)
+		}
+		if r.ScrubRepairs == 0 {
+			t.Fatalf("seed %d: scrubber repaired nothing — storm not reaching the array?", seed)
+		}
+	}
+}
+
+// TestE19ScrubOffShowsExposure pins the contrast arm: without scrubbing
+// the storm's bit rot reaches readers and the rebuild trips latent
+// errors — the exposure the experiment quantifies.
+func TestE19ScrubOffShowsExposure(t *testing.T) {
+	cfg := DefaultScenario()
+	cfg.Seed = 3
+	cfg.ScrubEvery = 0
+	r := RunScenario(cfg)
+	if r.UndetectedReads == 0 {
+		t.Fatal("scrub-off run served no undetected corrupt reads")
+	}
+	if r.RebuildHits == 0 {
+		t.Fatal("rebuild crossed no latent errors with scrubbing off")
+	}
+	if r.ScrubPasses != 0 || r.ScrubRepairs != 0 {
+		t.Fatalf("scrub-off run scrubbed: passes=%d repairs=%d", r.ScrubPasses, r.ScrubRepairs)
+	}
+	if r.RebuildWindow <= 0 {
+		t.Fatalf("RebuildWindow = %v, want positive exposure window", r.RebuildWindow)
+	}
+}

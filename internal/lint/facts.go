@@ -144,6 +144,8 @@ func markerCall(modpath string, callee *types.Func) (string, bool) {
 		return "records span-trace output", true
 	case modpath + "/internal/sweep":
 		return "records sweep results", true
+	case modpath + "/internal/integrity":
+		return "drives the integrity scrub plane", true
 	case "fmt":
 		switch callee.Name() {
 		case "Fprint", "Fprintf", "Fprintln":

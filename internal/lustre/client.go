@@ -70,6 +70,19 @@ type Client struct {
 	// disables the watchdog.
 	RPCTimeout sim.Time
 
+	// RetryBackoffCap bounds the exponential watchdog backoff: each
+	// consecutive expiration of the same RPC doubles the re-arm delay up
+	// to this cap, so a long server outage costs O(log) retries instead
+	// of hammering every RPCTimeout. Zero means 8x RPCTimeout.
+	RetryBackoffCap sim.Time
+
+	// BackoffSrc, when set, jitters backed-off re-arm delays by ±25% so
+	// a thundering herd of stalled clients desynchronizes. Only
+	// backed-off arms draw from it — the first watchdog of every RPC
+	// uses RPCTimeout exactly, so a client that never stalls consumes
+	// nothing from the stream (determinism isolation).
+	BackoffSrc *rng.Source
+
 	BytesWritten int64
 	BytesRead    int64
 	RPCsSent     uint64
@@ -77,6 +90,19 @@ type Client struct {
 	// RPCRetries counts the resends those expirations model.
 	RPCTimeouts uint64
 	RPCRetries  uint64
+	// BackoffWaits counts expirations of backed-off (longer-than-base)
+	// watchdogs; BackoffWait accumulates the extra delay they waited
+	// beyond RPCTimeout.
+	BackoffWaits uint64
+	BackoffWait  sim.Time
+}
+
+// backoffCap returns the effective backoff ceiling.
+func (c *Client) backoffCap() sim.Time {
+	if c.RetryBackoffCap > 0 {
+		return c.RetryBackoffCap
+	}
+	return 8 * c.RPCTimeout
 }
 
 // NewClient builds a client at the given torus coordinate.
@@ -164,12 +190,27 @@ func (s *stream) issue(size int64) {
 	}
 	var watchdog *sim.Event
 	if cl := s.c; cl.RPCTimeout > 0 {
+		delay := cl.RPCTimeout
 		var arm func()
 		arm = func() {
-			watchdog = fs.eng.After(cl.RPCTimeout, func() {
+			d := delay
+			if d > cl.RPCTimeout && cl.BackoffSrc != nil {
+				// ±25% deterministic jitter, drawn only on backed-off
+				// arms so unstalled clients touch no rng stream.
+				d = d - d/4 + sim.Time(cl.BackoffSrc.Float64()*float64(d/2))
+			}
+			armed := d
+			watchdog = fs.eng.After(d, func() {
 				cl.RPCTimeouts++
 				cl.RPCRetries++
+				if armed > cl.RPCTimeout {
+					cl.BackoffWaits++
+					cl.BackoffWait += armed - cl.RPCTimeout
+				}
 				tr.Mark(spantrace.Client, "rpc-retry", rpcSpan, size, "")
+				if delay *= 2; delay > cl.backoffCap() {
+					delay = cl.backoffCap()
+				}
 				arm()
 			})
 		}

@@ -172,15 +172,22 @@ func TestRPCWatchdogCountsStalledSends(t *testing.T) {
 	var file *File
 	fs.CreateOn("app/f", []int{0}, func(f *File) { file = f })
 	eng.Run()
-	cfg := DefaultRecovery(false) // 345 s outage: three 100 s watchdog windows
+	// 345 s outage under exponential backoff: the watchdog fires at
+	// t=100 s (base) and t=300 s (backed-off 200 s arm); the 400 s arm
+	// is cancelled when the OSS recovers at 345 s.
+	cfg := DefaultRecovery(false)
 	if err := FailOSS(fs, 0, cfg, nil); err != nil {
 		t.Fatal(err)
 	}
 	client.WriteStream(file, 1<<20, 1<<20, nil)
 	eng.Run()
-	if client.RPCTimeouts != 3 || client.RPCRetries != 3 {
-		t.Fatalf("timeouts/retries = %d/%d, want 3/3 across the %v outage",
+	if client.RPCTimeouts != 2 || client.RPCRetries != 2 {
+		t.Fatalf("timeouts/retries = %d/%d, want 2/2 across the %v outage",
 			client.RPCTimeouts, client.RPCRetries, cfg.OutageDuration())
+	}
+	if client.BackoffWaits != 1 || client.BackoffWait != 100*sim.Second {
+		t.Fatalf("backoff waits/extra = %d/%v, want 1/100s",
+			client.BackoffWaits, client.BackoffWait)
 	}
 	// A healthy write trips no watchdog.
 	before := client.RPCTimeouts

@@ -1,0 +1,124 @@
+package lustre
+
+import (
+	"testing"
+
+	"spiderfs/internal/disk"
+	"spiderfs/internal/raid"
+	"spiderfs/internal/rng"
+	"spiderfs/internal/sim"
+	"spiderfs/internal/topology"
+)
+
+// --- RPC retry backoff (satellite: exponential backoff with jitter) ---
+
+func backoffOutageRun(t *testing.T, src *rng.Source, cap sim.Time) *Client {
+	t.Helper()
+	eng := sim.NewEngine()
+	fs := Build(eng, TestNamespace(), rng.New(90))
+	client := NewClient(0, topology.Coord{}, fs, NullTransport{Eng: eng})
+	client.RPCTimeout = 20 * sim.Second
+	client.RetryBackoffCap = cap
+	client.BackoffSrc = src
+	var file *File
+	fs.CreateOn("app/f", []int{0}, func(f *File) { file = f })
+	eng.Run()
+	if err := FailOSS(fs, 0, DefaultRecovery(false), nil); err != nil {
+		t.Fatal(err)
+	}
+	client.WriteStream(file, 1<<20, 1<<20, nil)
+	eng.Run()
+	return client
+}
+
+func TestRetryBackoffJitterDeterministic(t *testing.T) {
+	a := backoffOutageRun(t, rng.New(3).Split("backoff"), 0)
+	b := backoffOutageRun(t, rng.New(3).Split("backoff"), 0)
+	if a.RPCTimeouts == 0 || a.BackoffWaits == 0 {
+		t.Fatalf("outage tripped %d timeouts / %d backoff waits, want both nonzero",
+			a.RPCTimeouts, a.BackoffWaits)
+	}
+	if a.RPCTimeouts != b.RPCTimeouts || a.BackoffWaits != b.BackoffWaits || a.BackoffWait != b.BackoffWait {
+		t.Fatalf("jittered backoff diverged across identical runs: %d/%d/%v vs %d/%d/%v",
+			a.RPCTimeouts, a.BackoffWaits, a.BackoffWait,
+			b.RPCTimeouts, b.BackoffWaits, b.BackoffWait)
+	}
+}
+
+func TestBackoffCapBoundsRetrySpacing(t *testing.T) {
+	// With the cap at the base timeout the backoff degenerates to fixed
+	// re-arms: a 345 s outage with a 20 s watchdog fires ~17 times. With
+	// the default (8x) cap the doubling schedule fires far fewer.
+	capped := backoffOutageRun(t, nil, 20*sim.Second)
+	expo := backoffOutageRun(t, nil, 0)
+	if capped.RPCTimeouts <= expo.RPCTimeouts {
+		t.Fatalf("capped-at-base fired %d vs exponential %d; backoff should reduce retries",
+			capped.RPCTimeouts, expo.RPCTimeouts)
+	}
+	if expo.RPCTimeouts > 6 {
+		t.Fatalf("exponential backoff fired %d times over a 345 s outage", expo.RPCTimeouts)
+	}
+	if capped.BackoffWaits != 0 {
+		t.Fatalf("cap==base produced %d backoff waits; none are backed off", capped.BackoffWaits)
+	}
+}
+
+func TestHealthyClientDrawsNoBackoffRandomness(t *testing.T) {
+	// Stream isolation: a client that never stalls must not consume its
+	// backoff stream, so twin sources stay in lockstep.
+	used := rng.New(11).Split("backoff")
+	twin := rng.New(11).Split("backoff")
+	eng := sim.NewEngine()
+	fs := Build(eng, TestNamespace(), rng.New(91))
+	client := NewClient(0, topology.Coord{}, fs, NullTransport{Eng: eng})
+	client.RPCTimeout = 20 * sim.Second
+	client.BackoffSrc = used
+	var file *File
+	fs.Create("app/f", 4, func(f *File) { file = f })
+	eng.Run()
+	client.WriteStream(file, 16<<20, 1<<20, nil)
+	eng.Run()
+	if client.RPCTimeouts != 0 {
+		t.Fatalf("healthy write tripped %d watchdogs", client.RPCTimeouts)
+	}
+	if used.Float64() != twin.Float64() {
+		t.Fatal("healthy client consumed backoff randomness")
+	}
+}
+
+// --- OST read-path integrity surfacing (EIO vs repaired vs corrupt) ---
+
+func TestOSTReadSurfacesRepairAndCorruption(t *testing.T) {
+	eng := sim.NewEngine()
+	fs := Build(eng, TestNamespace(), rng.New(92))
+	ost := fs.OSTs[0]
+	client := NewClient(0, topology.Coord{}, fs, NullTransport{Eng: eng})
+	var file *File
+	fs.CreateOn("app/f", []int{0}, func(f *File) { file = f })
+	eng.Run()
+	// Streaming reads start at LBA 0; plant silent rot there.
+	g := ost.Group()
+	g.Disks()[g.ChunkMember(0, 0)].InjectError(0, disk.Silent)
+	client.ReadStream(file, 1<<20, 1<<20, false, nil)
+	eng.Run()
+	if ost.CorruptReads == 0 {
+		t.Fatalf("verify-on-suspect OST served %d corrupt reads, want the planted rot surfaced", ost.CorruptReads)
+	}
+	// Same fault under verify-always repairs inline instead.
+	eng2 := sim.NewEngine()
+	fs2 := Build(eng2, TestNamespace(), rng.New(92))
+	ost2 := fs2.OSTs[0]
+	client2 := NewClient(0, topology.Coord{}, fs2, NullTransport{Eng: eng2})
+	var file2 *File
+	fs2.CreateOn("app/f", []int{0}, func(f *File) { file2 = f })
+	eng2.Run()
+	g2 := ost2.Group()
+	g2.Verify = raid.VerifyAlways
+	g2.Disks()[g2.ChunkMember(0, 0)].InjectError(0, disk.Silent)
+	client2.ReadStream(file2, 1<<20, 1<<20, false, nil)
+	eng2.Run()
+	if ost2.RepairedReads == 0 || ost2.CorruptReads != 0 {
+		t.Fatalf("verify-always OST: repaired=%d corrupt=%d, want inline repair",
+			ost2.RepairedReads, ost2.CorruptReads)
+	}
+}

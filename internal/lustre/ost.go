@@ -68,6 +68,12 @@ type OST struct {
 	FragmentedFlushes   uint64
 	SequentialFlushes   uint64
 	JournalCommits      uint64
+	// Integrity outcomes of read RPCs, as surfaced by the RAID layer:
+	// EIO (unrecoverable stripe — the client gets an error, not data),
+	// repaired-inline, and silently-corrupt-served.
+	ReadEIOs      uint64
+	RepairedReads uint64
+	CorruptReads  uint64
 }
 
 // NewOST wires an OST over a RAID group and its SSU controller.
@@ -417,17 +423,18 @@ func (obj *Object) Read(size int64, random bool, done func()) {
 			lba = obj.readPtr
 			obj.readPtr += size
 		}
-		dd := done
-		if sp != 0 {
-			dd = func() {
-				o.tracer.End(sp)
-				if done != nil {
-					done()
-				}
-			}
-		}
 		old := o.tracer.Swap(sp)
-		o.group.Read(lba, size, dd)
+		o.group.ReadChecked(lba, size, func(oc raid.ReadOutcome) {
+			if oc.EIO {
+				o.ReadEIOs++
+			}
+			o.RepairedReads += uint64(oc.Repaired)
+			o.CorruptReads += uint64(oc.Undetected)
+			o.tracer.End(sp)
+			if done != nil {
+				done()
+			}
+		})
 		o.tracer.Swap(old)
 	})
 }

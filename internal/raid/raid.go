@@ -74,10 +74,29 @@ type Group struct {
 	offline map[int]bool // member index -> offline
 	tracer  *spantrace.Tracer
 
+	// Verify selects the read-time checksum-verification policy
+	// (integrity.go): VerifyOnSuspect verifies degraded stripes and
+	// stripes with a drive-reported URE; VerifyAlways verifies every
+	// read at full-stripe fan-out cost.
+	Verify VerifyPolicy
+	// lost tracks stripes escalated as unrecoverable (defects beyond
+	// parity), so repeat encounters don't re-escalate the same loss.
+	lost map[int64]bool
+	// OnStripeLoss, when set, fires once per stripe escalated as
+	// unrecoverable — the chaos ledger's data-loss accounting hook.
+	OnStripeLoss func(stripe int64)
+
 	// rebuild bookkeeping
 	rebuildMember int
 	rebuildNext   int64 // next stripe index to reconstruct
 	rebuildEvent  *sim.Event
+	// rebuildGen orphans in-flight batch chains when a rebuild is
+	// cancelled (group failure, member restore) or superseded: batch
+	// continuations check their generation before rescheduling.
+	rebuildGen uint64
+	// pending queues replacements that arrived while a rebuild was
+	// already running — one rebuild at a time, like a real controller.
+	pending []pendingRebuild
 	// RebuildChunk is the number of stripes reconstructed per background
 	// batch; larger values finish sooner but steal more disk time from
 	// foreground I/O.
@@ -100,6 +119,25 @@ type Group struct {
 	// (implied) EIO instead of panicking, so a chaos campaign survives
 	// applications racing a data-loss event.
 	IOErrors uint64
+
+	// Integrity counters (integrity.go).
+	UREsDetected           uint64 // drive-reported unrecoverable read errors seen
+	ChecksumMismatches     uint64 // silent corruption caught by parity verify
+	RepairedChunks         uint64 // chunks reconstructed and rewritten
+	ScrubRepairs           uint64 // subset of RepairedChunks found by scrubbing
+	UndetectedCorruptReads uint64 // silently corrupt chunks served to callers
+	UnrecoverableStripes   int64  // stripes with defects beyond parity
+	LostStripeReads        uint64 // reads answered EIO from an unrecoverable stripe
+	RebuildLatentHits      uint64 // latent errors hit while a rebuild was in flight
+	ScrubbedStripes        int64  // stripes walked by ScrubStripes
+}
+
+// pendingRebuild is a queued replacement waiting for the running
+// rebuild to finish.
+type pendingRebuild struct {
+	member int
+	repl   *disk.Disk
+	done   func()
 }
 
 // NewGroup builds a group over the given member disks. len(members) must
@@ -109,13 +147,14 @@ func NewGroup(eng *sim.Engine, id int, cfg GroupConfig, members []*disk.Disk) *G
 		panic(fmt.Sprintf("raid: group wants %d disks, got %d", cfg.Width(), len(members))) //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
 	return &Group{
-		ID:           id,
-		cfg:          cfg,
-		eng:          eng,
-		dsks:         members,
-		state:        Healthy,
-		offline:      map[int]bool{},
-		RebuildChunk: 64,
+		ID:            id,
+		cfg:           cfg,
+		eng:           eng,
+		dsks:          members,
+		state:         Healthy,
+		offline:       map[int]bool{},
+		rebuildMember: -1,
+		RebuildChunk:  64,
 	}
 }
 
@@ -166,6 +205,13 @@ func (g *Group) chunkLocation(stripe int64, dataIdx int) (member int) {
 	panic("raid: dataIdx out of range") //simlint:allow no-library-panic can't-happen internal invariant: parity rotation covers every index
 }
 
+// ChunkMember returns the member disk holding data chunk dataIdx of the
+// given stripe — the layout map experiments use to plant targeted
+// defects.
+func (g *Group) ChunkMember(stripe int64, dataIdx int) int {
+	return g.chunkLocation(stripe, dataIdx)
+}
+
 // parityLocations returns the members holding the two parity chunks of a
 // stripe.
 func (g *Group) parityLocations(stripe int64) (int, int) {
@@ -192,44 +238,15 @@ func (g *Group) submitTo(member int, op disk.Op, b *sim.Barrier) {
 
 // Read issues a logical read of size bytes at offset off and calls done
 // when the slowest involved member completes. Reads from degraded
-// stripes fan out to all surviving members (reconstruction).
+// stripes fan out to all surviving members (reconstruction); checksum
+// verification and inline repair follow the Verify policy. ReadChecked
+// (integrity.go) is the same path with the integrity outcome surfaced.
 func (g *Group) Read(off, size int64, done func()) {
-	if g.state == Failed {
-		g.ioError(done)
-		return
-	}
-	g.Reads++
-	g.BytesRead += size
-	sp := g.tracer.Begin(spantrace.RAID, "raid-read", g.tracer.Cur(), size)
-	if sp != 0 {
-		inner := done
-		done = func() {
-			g.tracer.End(sp)
-			if inner != nil {
-				inner()
-			}
-		}
-	}
-	b := sim.NewBarrier(done)
-	old := g.tracer.Swap(sp)
-	g.forEachStripe(off, size, func(stripe, chunkFirst, chunkLast int64) {
-		degraded := g.stripeDegraded(stripe)
-		if degraded {
-			g.DegradedReads++
-			g.tracer.Mark(spantrace.RAID, "degraded-read", sp, (chunkLast-chunkFirst+1)*g.cfg.ChunkSize, "")
-			// Reconstruct: read the full stripe from every survivor.
-			for m := 0; m < g.cfg.Width(); m++ {
-				g.submitTo(m, disk.Op{LBA: g.diskOffset(stripe), Size: g.cfg.ChunkSize}, b)
-			}
-			return
-		}
-		for k := chunkFirst; k <= chunkLast; k++ {
-			m := g.chunkLocation(stripe, int(k))
-			g.submitTo(m, disk.Op{LBA: g.diskOffset(stripe), Size: g.cfg.ChunkSize}, b)
+	g.ReadChecked(off, size, func(ReadOutcome) {
+		if done != nil {
+			done()
 		}
 	})
-	g.tracer.Swap(old)
-	b.Arm()
 }
 
 // Write issues a logical write. Full-stripe writes update 8 data + 2
@@ -366,16 +383,75 @@ func (g *Group) FailDisk(m int) State {
 	if len(g.offline) > g.cfg.ParityDisks {
 		g.state = Failed
 		g.LostStripes = g.dsks[0].Config().Capacity / g.cfg.ChunkSize
-		if g.rebuildEvent != nil {
-			g.rebuildEvent.Cancel()
-			g.rebuildEvent = nil
-		}
+		// Cancel the rebuild cleanly: event, cursor, and member are
+		// cleared together, and queued replacements die with the group.
+		g.cancelRebuild()
+		g.pending = nil
 		return g.state
 	}
 	if g.state != Rebuilding {
 		g.state = Degraded
 	}
 	return g.state
+}
+
+// RestoreDisk brings offline member m back intact without a rebuild —
+// an enclosure repower or a reseated drive, where the controller's
+// dirty-region tracking makes the member immediately consistent. If m
+// was the member being rebuilt, the rebuild is cancelled cleanly and
+// any queued replacement for another member starts. Restoring a member
+// of a Failed group changes nothing: the data is already gone.
+func (g *Group) RestoreDisk(m int) State {
+	if m < 0 || m >= g.cfg.Width() {
+		panic("raid: bad member index") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
+	}
+	if g.state == Failed || !g.offline[m] {
+		return g.state
+	}
+	delete(g.offline, m)
+	if g.state == Rebuilding {
+		if g.rebuildMember != m {
+			return g.state // some other member is still rebuilding
+		}
+		g.cancelRebuild()
+	}
+	if len(g.offline) == 0 {
+		g.state = Healthy
+	} else {
+		g.state = Degraded
+	}
+	g.startQueuedRebuild()
+	return g.state
+}
+
+// cancelRebuild clears every piece of rebuild bookkeeping together —
+// event, cursor, member, and the generation that orphans any in-flight
+// batch continuation.
+func (g *Group) cancelRebuild() {
+	if g.rebuildEvent != nil {
+		g.rebuildEvent.Cancel()
+		g.rebuildEvent = nil
+	}
+	g.rebuildMember = -1
+	g.rebuildNext = 0
+	g.rebuildGen++
+}
+
+// startQueuedRebuild begins the next queued rebuild whose member is
+// still offline. Entries whose member came back (restored, or rebuilt
+// under an earlier replacement) complete vacuously.
+func (g *Group) startQueuedRebuild() {
+	for len(g.pending) > 0 && g.state != Rebuilding && g.state != Failed {
+		p := g.pending[0]
+		g.pending = g.pending[1:]
+		if !g.offline[p.member] {
+			if p.done != nil {
+				g.eng.After(0, p.done)
+			}
+			continue
+		}
+		g.beginRebuild(p.member, p.repl, p.done)
+	}
 }
 
 // StartRebuild begins background reconstruction of offline member m onto
@@ -390,12 +466,24 @@ func (g *Group) StartRebuild(m int, replacement *disk.Disk, done func()) {
 	if g.state == Failed {
 		panic("raid: rebuild on failed group") //simlint:allow no-library-panic caller-contract assertion: invalid input is a caller bug, not a runtime failure
 	}
+	if g.state == Rebuilding {
+		// One rebuild at a time, like a real controller: a second
+		// replacement arriving mid-rebuild waits its turn instead of
+		// clobbering the running rebuild's cursor.
+		g.pending = append(g.pending, pendingRebuild{member: m, repl: replacement, done: done})
+		return
+	}
+	g.beginRebuild(m, replacement, done)
+}
+
+func (g *Group) beginRebuild(m int, replacement *disk.Disk, done func()) {
 	replacement.Tracer = g.tracer
 	g.dsks[m] = replacement
 	g.state = Rebuilding
 	g.rebuildMember = m
 	g.rebuildNext = 0
-	g.rebuildBatch(done)
+	g.rebuildGen++
+	g.rebuildBatch(g.rebuildGen, done)
 }
 
 // RebuildProgress returns the fraction of stripes reconstructed, in
@@ -411,10 +499,11 @@ func (g *Group) RebuildProgress() float64 {
 	return float64(g.rebuildNext) / float64(total)
 }
 
-func (g *Group) rebuildBatch(done func()) {
-	total := g.dsks[0].Config().Capacity / g.cfg.ChunkSize
+func (g *Group) rebuildBatch(gen uint64, done func()) {
+	total := g.TotalStripes()
 	if g.rebuildNext >= total {
-		// Rebuild complete: member back online.
+		// Rebuild complete: member back online, bookkeeping cleared as
+		// one unit, then any queued replacement gets its turn.
 		delete(g.offline, g.rebuildMember)
 		if len(g.offline) == 0 {
 			g.state = Healthy
@@ -422,9 +511,12 @@ func (g *Group) rebuildBatch(done func()) {
 			g.state = Degraded
 		}
 		g.rebuildEvent = nil
+		g.rebuildMember = -1
+		g.rebuildNext = 0
 		if done != nil {
 			done()
 		}
+		g.startQueuedRebuild()
 		return
 	}
 	n := g.RebuildChunk
@@ -440,14 +532,14 @@ func (g *Group) rebuildBatch(done func()) {
 	sp := g.tracer.SampleRoot(spantrace.RAID, "rebuild-batch", size)
 	b := sim.NewBarrier(func() {
 		g.tracer.End(sp)
-		if g.state != Rebuilding {
-			return // group failed mid-rebuild
+		if g.state != Rebuilding || g.rebuildGen != gen {
+			return // rebuild cancelled or superseded mid-batch
 		}
 		if g.RebuildPause > 0 {
-			g.rebuildEvent = g.eng.After(g.RebuildPause, func() { g.rebuildBatch(done) })
+			g.rebuildEvent = g.eng.After(g.RebuildPause, func() { g.rebuildBatch(gen, done) })
 			return
 		}
-		g.rebuildBatch(done)
+		g.rebuildBatch(gen, done)
 	})
 	// Read n contiguous chunks from each survivor, write to replacement.
 	old := g.tracer.Swap(sp)
@@ -460,6 +552,9 @@ func (g *Group) rebuildBatch(done func()) {
 	}
 	b.Add(1)
 	g.dsks[g.rebuildMember].Submit(disk.Op{Write: true, LBA: first * g.cfg.ChunkSize, Size: size}, b.Done)
+	// Latent errors on the survivors surface here, with parity margin
+	// already spent on the rebuilding member — repair or escalate.
+	g.checkRange(first*g.cfg.ChunkSize, size, false, b)
 	g.tracer.Swap(old)
 	b.Arm()
 }

@@ -38,6 +38,11 @@ const (
 	// sweepMeanTol: sweep metric means are fully deterministic; only
 	// float formatting round-trip error is allowed.
 	sweepMeanTol = 1e-9
+	// scrubOverheadCeiling: background scrubbing at the default
+	// interval may tax foreground read latency by at most this
+	// fraction. Gated as an absolute ceiling (like the spantrace
+	// overhead), since the committed value sits well under it.
+	scrubOverheadCeiling = 0.25
 )
 
 // Finding is one gate violation.
@@ -79,6 +84,8 @@ func Compare(artifact string, committed, fresh []byte) ([]Finding, error) {
 		return compareSpantrace(artifact, committed, fresh)
 	case "spiderfs-sweep-bench/1":
 		return compareSweep(artifact, committed, fresh)
+	case "spiderfs-integrity-bench/1":
+		return compareIntegrity(artifact, committed, fresh)
 	}
 	return nil, fmt.Errorf("regress %s: unknown schema %q", artifact, ch.Schema)
 }
@@ -149,17 +156,21 @@ func compareSpantrace(artifact string, committed, fresh []byte) ([]Finding, erro
 	return out, nil
 }
 
+// sweepRec is the gated slice of one sweep record; sweep-family and
+// integrity-family artifacts both carry lists of these.
+type sweepRec struct {
+	Label         string `json:"label"`
+	Deterministic bool   `json:"deterministic"`
+	Fingerprint   string `json:"fingerprint"`
+	Errors        int    `json:"errors"`
+	Metrics       []struct {
+		Name string  `json:"name"`
+		Mean float64 `json:"mean"`
+	} `json:"metrics"`
+}
+
 type sweepDoc struct {
-	Sweeps []struct {
-		Label         string `json:"label"`
-		Deterministic bool   `json:"deterministic"`
-		Fingerprint   string `json:"fingerprint"`
-		Errors        int    `json:"errors"`
-		Metrics       []struct {
-			Name string  `json:"name"`
-			Mean float64 `json:"mean"`
-		} `json:"metrics"`
-	} `json:"sweeps"`
+	Sweeps []sweepRec `json:"sweeps"`
 }
 
 func compareSweep(artifact string, committed, fresh []byte) ([]Finding, error) {
@@ -167,10 +178,17 @@ func compareSweep(artifact string, committed, fresh []byte) ([]Finding, error) {
 	if err := decodeBoth(artifact, committed, fresh, &c, &f); err != nil {
 		return nil, err
 	}
+	return compareSweepRecords(artifact, c.Sweeps, f.Sweeps), nil
+}
+
+// compareSweepRecords applies the deterministic sweep gates — exact
+// fingerprints, exact metric means, zero replica errors, double-run
+// determinism — to every committed record.
+func compareSweepRecords(artifact string, committed, fresh []sweepRec) []Finding {
 	var out []Finding
-	for _, cs := range c.Sweeps {
+	for _, cs := range committed {
 		found := false
-		for _, fs := range f.Sweeps {
+		for _, fs := range fresh {
 			if fs.Label != cs.Label {
 				continue
 			}
@@ -208,6 +226,42 @@ func compareSweep(artifact string, committed, fresh []byte) ([]Finding, error) {
 			out = append(out, Finding{artifact, "sweep-missing",
 				fmt.Sprintf("sweep %s absent from fresh run", cs.Label)})
 		}
+	}
+	return out
+}
+
+type integrityDoc struct {
+	Sweeps              []sweepRec `json:"sweeps"`
+	UndetectedAtDefault float64    `json:"undetected_reads_at_default"`
+	UndetectedNoScrub   float64    `json:"undetected_reads_no_scrub"`
+	ScrubOverheadFrac   float64    `json:"scrub_overhead_frac"`
+}
+
+// compareIntegrity gates BENCH_integrity.json: the standard exact sweep
+// gates on every E19 record, plus two headline properties of the fresh
+// run itself — zero undetected corrupt reads at the default scrub
+// interval (a hard invariant, not a drift check) and a bounded
+// foreground overhead for background scrubbing.
+func compareIntegrity(artifact string, committed, fresh []byte) ([]Finding, error) {
+	var c, f integrityDoc
+	if err := decodeBoth(artifact, committed, fresh, &c, &f); err != nil {
+		return nil, err
+	}
+	out := compareSweepRecords(artifact, c.Sweeps, f.Sweeps)
+	if f.UndetectedAtDefault != 0 {
+		out = append(out, Finding{artifact, "undetected-corrupt-reads",
+			fmt.Sprintf("undetected_reads_at_default %v != 0 (committed %v): silent corruption reached clients at the default scrub interval",
+				f.UndetectedAtDefault, c.UndetectedAtDefault)})
+	}
+	if f.UndetectedNoScrub <= 0 {
+		out = append(out, Finding{artifact, "exposure-baseline",
+			fmt.Sprintf("undetected_reads_no_scrub %v: the unscrubbed baseline shows no exposure, so the zero-at-default gate proves nothing",
+				f.UndetectedNoScrub)})
+	}
+	if f.ScrubOverheadFrac > scrubOverheadCeiling {
+		out = append(out, Finding{artifact, "scrub-overhead",
+			fmt.Sprintf("scrub_overhead_frac %.4f exceeds ceiling %.2f (committed %.4f)",
+				f.ScrubOverheadFrac, scrubOverheadCeiling, c.ScrubOverheadFrac)})
 	}
 	return out, nil
 }

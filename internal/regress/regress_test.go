@@ -38,6 +38,30 @@ const sweepCommitted = `{
   ]
 }`
 
+const integrityCommitted = `{
+  "schema": "spiderfs-integrity-bench/1",
+  "cpus": 8,
+  "workers": 8,
+  "default_scrub_interval_s": 30,
+  "undetected_reads_at_default": 0,
+  "undetected_reads_no_scrub": 5.125,
+  "rebuild_latent_hits_at_default": 0,
+  "rebuild_latent_hits_no_scrub": 35.5,
+  "lost_stripes_no_scrub": 1.0,
+  "scrub_overhead_frac": 0.134,
+  "sweeps": [
+    {
+      "label": "e19-scrub-default", "replicas": 8, "seed": 42, "workers": 8,
+      "serial_ns": 90000000, "parallel_ns": 30000000, "speedup": 3.0,
+      "deterministic": true, "fingerprint": "abcdef0123456789", "errors": 0,
+      "metrics": [
+        {"name": "undetected_reads", "n": 8, "mean": 0},
+        {"name": "scrub_repairs", "n": 8, "mean": 45.25}
+      ]
+    }
+  ]
+}`
+
 func mustCompare(t *testing.T, artifact, committed, fresh string) []Finding {
 	t.Helper()
 	out, err := Compare(artifact, []byte(committed), []byte(fresh))
@@ -62,6 +86,7 @@ func TestIdenticalArtifactsPass(t *testing.T) {
 		{"BENCH_netsim.json", netsimCommitted},
 		{"BENCH_spantrace.json", spantraceCommitted},
 		{"BENCH_sweep.json", sweepCommitted},
+		{"BENCH_integrity.json", integrityCommitted},
 	} {
 		if out := mustCompare(t, c.name, c.doc, c.doc); len(out) != 0 {
 			t.Errorf("%s vs itself: %v", c.name, out)
@@ -97,6 +122,42 @@ func TestSweepSpeedupNotGated(t *testing.T) {
 	slow := strings.Replace(sweepCommitted, `"speedup": 4.1`, `"speedup": 0.93`, 1)
 	if out := mustCompare(t, "BENCH_sweep.json", sweepCommitted, slow); len(out) != 0 {
 		t.Errorf("speedup drift should not trip the gate: %v", out)
+	}
+}
+
+// TestIntegrityGates is the sabotage suite for BENCH_integrity.json:
+// any undetected corrupt read at the default interval is a hard
+// failure, a vanished exposure baseline invalidates the gate, excess
+// scrub overhead trips the ceiling, and the inherited sweep gates
+// (fingerprints, means) stay exact.
+func TestIntegrityGates(t *testing.T) {
+	leak := strings.Replace(integrityCommitted,
+		`"undetected_reads_at_default": 0`, `"undetected_reads_at_default": 0.25`, 1)
+	wantCheck(t, mustCompare(t, "BENCH_integrity.json", integrityCommitted, leak),
+		"undetected-corrupt-reads")
+
+	vacuous := strings.Replace(integrityCommitted,
+		`"undetected_reads_no_scrub": 5.125`, `"undetected_reads_no_scrub": 0`, 1)
+	wantCheck(t, mustCompare(t, "BENCH_integrity.json", integrityCommitted, vacuous),
+		"exposure-baseline")
+
+	heavy := strings.Replace(integrityCommitted,
+		`"scrub_overhead_frac": 0.134`, `"scrub_overhead_frac": 0.41`, 1)
+	wantCheck(t, mustCompare(t, "BENCH_integrity.json", integrityCommitted, heavy),
+		"scrub-overhead")
+
+	drift := strings.Replace(integrityCommitted, "abcdef0123456789", "deadbeefdeadbeef", 1)
+	drift = strings.Replace(drift, `{"name": "scrub_repairs", "n": 8, "mean": 45.25}`,
+		`{"name": "scrub_repairs", "n": 8, "mean": 44.0}`, 1)
+	out := mustCompare(t, "BENCH_integrity.json", integrityCommitted, drift)
+	wantCheck(t, out, "sweep-fingerprint")
+	wantCheck(t, out, "sweep-metric")
+
+	// In-band overhead wobble on an otherwise identical artifact passes.
+	wobble := strings.Replace(integrityCommitted,
+		`"scrub_overhead_frac": 0.134`, `"scrub_overhead_frac": 0.168`, 1)
+	if out := mustCompare(t, "BENCH_integrity.json", integrityCommitted, wobble); len(out) != 0 {
+		t.Errorf("in-band overhead tripped the gate: %v", out)
 	}
 }
 
