@@ -1,0 +1,114 @@
+package center
+
+import (
+	"fmt"
+
+	"spiderfs/internal/netsim"
+	"spiderfs/internal/shard"
+)
+
+// Span is a half-open index range [Lo, Hi).
+type Span struct{ Lo, Hi int }
+
+// ShardPlan describes how a built center's hardware partitions into the
+// weakly-coupled shards the parallel engine (internal/shard) runs:
+// contiguous torus X-slabs for the fabric (dimension-ordered routing
+// crosses each slab at most once) and SSU-aligned OSS spans for storage,
+// so a disk/RAID/OST stack never straddles two shards. The plan is the
+// seam between the center's assembly and the sharded runner: it is
+// derived from a built center, validated for exact coverage, and handed
+// to shard.NewFabricSim.
+type ShardPlan struct {
+	// RegionBounds has one more entry than there are region shards;
+	// region i owns torus nodes with RegionBounds[i] <= X < RegionBounds[i+1].
+	RegionBounds []int
+	// StorageSpans lists, per storage shard, the OSS index range it owns
+	// (fabric-global OSS numbering, one span per SSU across namespaces).
+	StorageSpans []Span
+	Routers      int
+	torusNX      int
+	osses        int
+}
+
+// ShardPlan partitions the center into regions torus X-slabs plus one
+// storage shard per SSU. regions is clamped to [1, NX].
+func (c *Center) ShardPlan(regions int) ShardPlan {
+	if regions < 1 {
+		regions = 1
+	}
+	if regions > c.Torus.NX {
+		regions = c.Torus.NX
+	}
+	p := ShardPlan{Routers: 4 * len(c.Placement.Modules), torusNX: c.Torus.NX}
+	p.RegionBounds = make([]int, regions+1)
+	for i := range p.RegionBounds {
+		p.RegionBounds[i] = i * c.Torus.NX / regions
+	}
+	for ns, fs := range c.Namespaces {
+		nSSU := len(fs.Ctrls)
+		perSSU := len(fs.OSSes) / nSSU
+		base := c.ossBase[ns]
+		for s := 0; s < nSSU; s++ {
+			p.StorageSpans = append(p.StorageSpans, Span{Lo: base + s*perSSU, Hi: base + (s+1)*perSSU})
+		}
+		p.osses += len(fs.OSSes)
+	}
+	return p
+}
+
+// Validate checks the plan covers the hardware exactly once and that its
+// storage spans coincide with the even contiguous split
+// shard.NewFabricSim builds — SSU-aligned spans satisfy this because
+// every SSU carries the same OSS count.
+func (p ShardPlan) Validate() error {
+	if len(p.RegionBounds) < 2 || p.RegionBounds[0] != 0 || p.RegionBounds[len(p.RegionBounds)-1] != p.torusNX {
+		return fmt.Errorf("region bounds %v do not cover X range [0,%d)", p.RegionBounds, p.torusNX)
+	}
+	for i := 1; i < len(p.RegionBounds); i++ {
+		if p.RegionBounds[i] <= p.RegionBounds[i-1] {
+			return fmt.Errorf("region bound %d: %d not above %d", i, p.RegionBounds[i], p.RegionBounds[i-1])
+		}
+	}
+	n := len(p.StorageSpans)
+	if n == 0 {
+		return fmt.Errorf("no storage spans")
+	}
+	next := 0
+	for i, s := range p.StorageSpans {
+		if s.Lo != next || s.Hi <= s.Lo {
+			return fmt.Errorf("storage span %d: [%d,%d) does not continue from %d", i, s.Lo, s.Hi, next)
+		}
+		if want := (Span{Lo: i * p.osses / n, Hi: (i + 1) * p.osses / n}); s != want {
+			return fmt.Errorf("storage span %d: [%d,%d) is not the even split [%d,%d) the sharded fabric builds",
+				i, s.Lo, s.Hi, want.Lo, want.Hi)
+		}
+		next = s.Hi
+	}
+	if next != p.osses {
+		return fmt.Errorf("storage spans cover %d of %d OSSes", next, p.osses)
+	}
+	if p.Routers < n {
+		return fmt.Errorf("%d routers cannot serve %d storage shards", p.Routers, n)
+	}
+	return nil
+}
+
+// Regions returns the region shard count.
+func (p ShardPlan) Regions() int { return len(p.RegionBounds) - 1 }
+
+// OSSes returns the total OSS count the plan covers.
+func (p ShardPlan) OSSes() int { return p.osses }
+
+// FabricConfig realizes the plan as a sharded fabric configuration for
+// the given torus, synchronized at the Gemini hop latency.
+func (p ShardPlan) FabricConfig(cfg netsim.FabricConfig, workers int) shard.FabricConfig {
+	return shard.FabricConfig{
+		Net:       cfg,
+		Regions:   p.Regions(),
+		Storage:   len(p.StorageSpans),
+		OSSes:     p.osses,
+		Routers:   p.Routers,
+		Lookahead: cfg.GeminiLatency,
+		Workers:   workers,
+	}
+}

@@ -1,0 +1,91 @@
+package center
+
+import (
+	"testing"
+
+	"spiderfs/internal/netsim"
+	"spiderfs/internal/rng"
+	"spiderfs/internal/shard"
+)
+
+// The plan must tile the torus X dimension and the OSS population
+// exactly once, with storage spans aligned to SSU boundaries.
+func TestShardPlanCoversCenterExactlyOnce(t *testing.T) {
+	c := New(Config{Small: true, Namespaces: 2, Seed: 1})
+	p := c.ShardPlan(3)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if p.Regions() != 3 {
+		t.Fatalf("Regions = %d, want 3", p.Regions())
+	}
+	// Small center: 2 namespaces x 2 SSUs of 8 OSSes.
+	if len(p.StorageSpans) != 4 || p.OSSes() != 32 {
+		t.Fatalf("got %d storage spans over %d OSSes, want 4 over 32", len(p.StorageSpans), p.OSSes())
+	}
+	for i, s := range p.StorageSpans {
+		if s.Hi-s.Lo != 8 {
+			t.Fatalf("span %d: [%d,%d) is not one 8-OSS SSU", i, s.Lo, s.Hi)
+		}
+	}
+	// Every namespace's OSS range must be a whole number of spans.
+	for ns := range c.Namespaces {
+		base := c.ossBase[ns]
+		found := false
+		for _, s := range p.StorageSpans {
+			if s.Lo == base {
+				found = true
+			}
+			if s.Lo < base && base < s.Hi {
+				t.Fatalf("namespace %d base %d splits span [%d,%d)", ns, base, s.Lo, s.Hi)
+			}
+		}
+		if !found {
+			t.Fatalf("no span starts at namespace %d base %d", ns, base)
+		}
+	}
+}
+
+func TestShardPlanValidateRejectsBadPlans(t *testing.T) {
+	c := New(Config{Small: true, Namespaces: 1, Seed: 1})
+	good := c.ShardPlan(2)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good plan rejected: %v", err)
+	}
+	bad := good
+	bad.RegionBounds = []int{0, 3} // does not reach NX=5
+	if bad.Validate() == nil {
+		t.Fatal("accepted region bounds that do not cover the torus")
+	}
+	bad = good
+	bad.StorageSpans = append([]Span(nil), good.StorageSpans...)
+	bad.StorageSpans[0].Hi-- // gap before span 1
+	if bad.Validate() == nil {
+		t.Fatal("accepted storage spans with a coverage gap")
+	}
+	bad = good
+	bad.Routers = len(good.StorageSpans) - 1
+	if bad.Validate() == nil {
+		t.Fatal("accepted fewer routers than storage shards")
+	}
+}
+
+// The realized sharded fabric must honor the plan: same shard counts,
+// same even OSS split, and a deterministic drained run.
+func TestShardPlanRealizesFabricSim(t *testing.T) {
+	c := New(Config{Small: true, Namespaces: 2, Seed: 1})
+	p := c.ShardPlan(3)
+	fcfg := netsim.Spider2Fabric()
+	fcfg.Torus = c.Torus
+	fs := shard.NewFabricSim(p.FabricConfig(fcfg, 2))
+	if got, want := fs.Runner.NumShards(), p.Regions()+len(p.StorageSpans); got != want {
+		t.Fatalf("runner has %d shards, plan wants %d", got, want)
+	}
+	fs.LaunchWave(rng.New(5), 200, 1e6, 0)
+	if st := fs.Runner.Run(); st != shard.Quiescent {
+		t.Fatalf("Run = %v, want %v", st, shard.Quiescent)
+	}
+	if fs.Completed() != 200 {
+		t.Fatalf("completed %d of 200 flows", fs.Completed())
+	}
+}

@@ -146,6 +146,8 @@ func markerCall(modpath string, callee *types.Func) (string, bool) {
 		return "records sweep results", true
 	case modpath + "/internal/integrity":
 		return "drives the integrity scrub plane", true
+	case modpath + "/internal/shard":
+		return "delivers cross-shard events", true
 	case "fmt":
 		switch callee.Name() {
 		case "Fprint", "Fprintf", "Fprintln":

@@ -1,0 +1,54 @@
+// Sabotage fixture: the shard package is a delivery sink — cross-shard
+// sends are buffered in outbox order and merged at the window barrier
+// in (shard index, send order), so feeding Send from a map range bakes
+// Go's random iteration order into the merged event sequence and the
+// run fingerprint. Flagged directly and one call away, like the other
+// recording sinks.
+package shardsink
+
+import (
+	"sort"
+
+	"spiderfs/internal/shard"
+	"spiderfs/internal/sim"
+)
+
+// direct: the range and the cross-shard Send share a function.
+func sendAll(s *shard.Shard, at sim.Time, dests map[int]func()) {
+	for dst, fn := range dests { // want ordered-map-range
+		s.Send(at, dst, fn)
+	}
+}
+
+func forward(s *shard.Shard, at sim.Time, dst int, fn func()) {
+	s.Send(at, dst, fn)
+}
+
+// one hop: the range feeds forward, which sends across shards.
+func forwardAll(s *shard.Shard, at sim.Time, dests map[int]func()) {
+	for dst, fn := range dests { // want ordered-map-range
+		forward(s, at, dst, fn)
+	}
+}
+
+// building runners per map entry is just as nondeterministic: the
+// shards' initial events follow iteration order.
+func runPerEntry(plans map[string]int) []*shard.Runner {
+	var out []*shard.Runner
+	for _, n := range plans { // want ordered-map-range
+		out = append(out, shard.NewRunner(n, sim.Microsecond, 1))
+	}
+	return out
+}
+
+// sorted-keys rewrite: the deterministic shape the check pushes toward.
+func sendSorted(s *shard.Shard, at sim.Time, dests map[int]func()) {
+	dsts := make([]int, 0, len(dests))
+	for dst := range dests { //simlint:allow ordered-map-range destinations are sorted before any send
+		dsts = append(dsts, dst)
+	}
+	sort.Ints(dsts)
+	for _, dst := range dsts {
+		s.Send(at, dst, dests[dst])
+	}
+}

@@ -1,0 +1,42 @@
+// Clean counterpart: cross-shard sends driven from ordered collections
+// only — slices in, sorted keys where a map is unavoidable, maps used
+// purely for O(1) lookup.
+package shardsinkok
+
+import (
+	"sort"
+
+	"spiderfs/internal/shard"
+	"spiderfs/internal/sim"
+)
+
+type hop struct {
+	dst int
+	fn  func()
+}
+
+// slices are ordered; sending from one is fine.
+func sendHops(s *shard.Shard, at sim.Time, hops []hop) {
+	for _, h := range hops {
+		s.Send(at, h.dst, h.fn)
+	}
+}
+
+// map used as an index, drained through a sorted key slice before any
+// cross-shard event is sent.
+func sendByDst(s *shard.Shard, at sim.Time, byDst map[int]func()) {
+	dsts := make([]int, 0, len(byDst))
+	for dst := range byDst { //simlint:allow ordered-map-range destinations are sorted before any send
+		dsts = append(dsts, dst)
+	}
+	sort.Ints(dsts)
+	for _, dst := range dsts {
+		s.Send(at, dst, byDst[dst])
+	}
+}
+
+// map lookup (no range) feeding a send stays silent.
+func sendNamed(s *shard.Shard, at sim.Time, byName map[string]hop, name string) {
+	h := byName[name]
+	s.Send(at, h.dst, h.fn)
+}

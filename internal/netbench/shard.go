@@ -1,0 +1,138 @@
+package netbench
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"spiderfs/internal/rng"
+	"spiderfs/internal/shard"
+)
+
+// The sharded congestion workload: the same wave-and-drain shape as
+// spider2Congestion, but on the partitioned fabric (torus X-slab region
+// shards plus router/OSS storage shards) driven by the conservative
+// barrier runner. Each op launches one wave and drains it; the
+// fingerprint runs use a separate fixed wave count so the trace they
+// hash never depends on the benchmark's iteration calibration.
+const (
+	shardSeed        = 7
+	shardFPWaves     = 3
+	shardFullRegions = 8
+	shardFullStorage = 36 // one shard per SSU: 2 namespaces x 18 SSUs
+)
+
+// shardWorkerCounts are the worker counts measured and fingerprinted;
+// index 0 is the serial reference every other count must match.
+var shardWorkerCounts = []int{1, 2, 4, 8}
+
+// ShardRun is one sharded congestion measurement at a worker count.
+type ShardRun struct {
+	Workers         int     `json:"workers"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	FlowEventsPerOp float64 `json:"flow_events_per_op"`
+	NsPerFlowEvent  float64 `json:"ns_per_flow_event"`
+	Fingerprint     string  `json:"fingerprint"`
+}
+
+// ShardSection is the sharded-engine block of BENCH_netsim.json. The
+// gate (internal/regress) requires Deterministic and exact fingerprint
+// identity across the runs; Speedup is recorded, not gated, because a
+// single-CPU host cannot exceed 1.
+type ShardSection struct {
+	Regions       int        `json:"regions"`
+	StorageShards int        `json:"storage_shards"`
+	LookaheadNs   int64      `json:"lookahead_ns"`
+	CPUs          int        `json:"cpus"`
+	Runs          []ShardRun `json:"runs"`
+	// Deterministic is true when every worker count double-ran to the
+	// same fingerprint and every fingerprint equals the serial run's.
+	Deterministic bool `json:"deterministic"`
+	// Speedup is the serial ns/op over the best parallel ns/op.
+	Speedup float64 `json:"speedup"`
+}
+
+func shardConfig(full bool, workers int) (cfg shard.FabricConfig, batch int, bytes float64) {
+	if full {
+		return shard.Spider2Partition(shardFullRegions, shardFullStorage, workers), spider2Batch, spider2Bytes
+	}
+	return shard.SmallPartition(workers), 128, 8e6
+}
+
+// shardFingerprint runs the fixed-wave workload once and returns the
+// event-trace fingerprint and total events fired.
+func shardFingerprint(cfg shard.FabricConfig, batch int, bytes float64) (uint64, uint64) {
+	fs := shard.NewFabricSim(cfg)
+	src := rng.New(shardSeed)
+	for i := 0; i < shardFPWaves; i++ {
+		fs.LaunchWave(src, batch, bytes, fs.Runner.Horizon())
+		fs.Runner.Run()
+	}
+	return fs.Runner.Fingerprint(), fs.Runner.Events()
+}
+
+func shardCongestion(cfg shard.FabricConfig, batch int, bytes float64, events *float64) func(b *testing.B) {
+	return func(b *testing.B) {
+		fs := shard.NewFabricSim(cfg)
+		src := rng.New(shardSeed)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fs.LaunchWave(src, batch, bytes, fs.Runner.Horizon())
+			fs.Runner.Run()
+		}
+		b.StopTimer()
+		*events = float64(fs.Runner.Events()) / float64(b.N)
+	}
+}
+
+// RunShard measures the sharded congestion workload at each worker
+// count and double-runs the fixed-wave fingerprint at each, the
+// serial-vs-parallel recipe the sweep suite uses.
+func RunShard(full bool) *ShardSection {
+	cfg, _, _ := shardConfig(full, 1)
+	sec := &ShardSection{
+		Regions:       cfg.Regions,
+		StorageShards: cfg.Storage,
+		LookaheadNs:   int64(cfg.Lookahead),
+		CPUs:          runtime.NumCPU(),
+		Deterministic: true,
+	}
+	var serialFP uint64
+	for i, w := range shardWorkerCounts {
+		cfg, batch, bytes := shardConfig(full, w)
+		fp, _ := shardFingerprint(cfg, batch, bytes)
+		again, _ := shardFingerprint(cfg, batch, bytes)
+		if fp != again {
+			sec.Deterministic = false
+		}
+		if i == 0 {
+			serialFP = fp
+		} else if fp != serialFP {
+			sec.Deterministic = false
+		}
+		var events float64
+		r := testing.Benchmark(shardCongestion(cfg, batch, bytes, &events))
+		run := ShardRun{
+			Workers:         w,
+			NsPerOp:         float64(r.T.Nanoseconds()) / float64(r.N),
+			FlowEventsPerOp: events,
+			Fingerprint:     fmt.Sprintf("%016x", fp),
+		}
+		if events > 0 {
+			run.NsPerFlowEvent = run.NsPerOp / events
+		}
+		sec.Runs = append(sec.Runs, run)
+	}
+	serial := sec.Runs[0].NsPerOp
+	best := 0.0
+	for _, r := range sec.Runs[1:] {
+		if best == 0 || r.NsPerOp < best {
+			best = r.NsPerOp
+		}
+	}
+	if best > 0 {
+		sec.Speedup = serial / best
+	}
+	return sec
+}

@@ -182,32 +182,35 @@ func (f *Fabric) geminiPath(dst []*Link, a, b topology.Coord) []*Link {
 	t := f.Cfg.Torus
 	cur := a
 	t.Walk(a, b, func(next topology.Coord) {
-		i := t.Index(cur)
-		var dir int
-		switch {
-		case next.X != cur.X:
-			if (cur.X+1)%t.NX == next.X {
-				dir = dirXPlus
-			} else {
-				dir = dirXMinus
-			}
-		case next.Y != cur.Y:
-			if (cur.Y+1)%t.NY == next.Y {
-				dir = dirYPlus
-			} else {
-				dir = dirYMinus
-			}
-		default:
-			if (cur.Z+1)%t.NZ == next.Z {
-				dir = dirZPlus
-			} else {
-				dir = dirZMinus
-			}
-		}
-		dst = append(dst, f.gem[i][dir])
+		dst = append(dst, f.gem[t.Index(cur)][StepDir(t, cur, next)])
 		cur = next
 	})
 	return dst
+}
+
+// StepDir returns the torus link direction (0..5: +x,-x,+y,-y,+z,-z —
+// the per-node link ordering NewFabric and NewRegionFabric both build)
+// for the unit hop cur->next produced by Torus.Walk. It is the shared
+// seam between the monolithic fabric's path builder and the sharded
+// partition's cross-region path segmenter (internal/shard).
+func StepDir(t topology.Torus, cur, next topology.Coord) int {
+	switch {
+	case next.X != cur.X:
+		if (cur.X+1)%t.NX == next.X {
+			return dirXPlus
+		}
+		return dirXMinus
+	case next.Y != cur.Y:
+		if (cur.Y+1)%t.NY == next.Y {
+			return dirYPlus
+		}
+		return dirYMinus
+	default:
+		if (cur.Z+1)%t.NZ == next.Z {
+			return dirZPlus
+		}
+		return dirZMinus
+	}
 }
 
 // RouteMode selects the routing discipline.

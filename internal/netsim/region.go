@@ -1,0 +1,94 @@
+package netsim
+
+import (
+	"fmt"
+
+	"spiderfs/internal/topology"
+)
+
+// RegionFabric is the torus/injection slice of a Fabric restricted to a
+// contiguous X-slab of the torus, built on its own Network (and hence
+// its own sim.Engine). It is the partition seam the sharded engine
+// (internal/shard) cuts the fabric along: dimension-ordered routing
+// walks X before Y and Z, so a client->router path crosses each slab at
+// most once and every Y/Z hop stays inside the final slab — slabs are
+// the weakly-coupled regions the conservative barrier synchronizes.
+//
+// The slab owns all six Gemini links and the injection link of every
+// node with X0 <= x < X1, including the +x/-x links that cross into the
+// neighboring slab (a torus link belongs to its source node).
+type RegionFabric struct {
+	Cfg    FabricConfig
+	Net    *Network
+	X0, X1 int // slab covers torus nodes with X0 <= x < X1
+
+	gem    [][]*Link // [local node][dir 0..5]
+	inject []*Link   // [local node]
+}
+
+// NewRegionFabric builds the slab's links on net. Link capacities,
+// latencies, and per-node link layout match NewFabric exactly, so a
+// partition of slabs covers the same torus hardware as the monolithic
+// fabric.
+func NewRegionFabric(net *Network, cfg FabricConfig, x0, x1 int) *RegionFabric {
+	t := cfg.Torus
+	if x0 < 0 || x1 <= x0 || x1 > t.NX {
+		panic(fmt.Sprintf("netsim: region slab [%d,%d) outside torus X dimension %d", x0, x1, t.NX)) //simlint:allow no-library-panic caller-contract assertion: invalid partition bounds are a builder bug
+	}
+	r := &RegionFabric{Cfg: cfg, Net: net, X0: x0, X1: x1}
+	n := (x1 - x0) * t.NY * t.NZ
+	r.gem = make([][]*Link, n)
+	r.inject = make([]*Link, n)
+	// Local index order mirrors the global torus index order (x-major,
+	// then y, then z — see Torus.Index) restricted to the slab, so link
+	// creation order — and with it every engine seq assignment during the
+	// build — is deterministic and matches the monolithic fabric's walk.
+	for x := x0; x < x1; x++ {
+		for y := 0; y < t.NY; y++ {
+			for z := 0; z < t.NZ; z++ {
+				c := topology.Coord{X: x, Y: y, Z: z}
+				i := r.local(c)
+				r.gem[i] = make([]*Link, 6)
+				mk := func(dir int, cap float64, tag string) {
+					r.gem[i][dir] = net.NewLink(fmt.Sprintf("gem%v%s", c, tag), cap, cfg.GeminiLatency)
+				}
+				mk(dirXPlus, cfg.GeminiXBps, "+x")
+				mk(dirXMinus, cfg.GeminiXBps, "-x")
+				mk(dirYPlus, cfg.GeminiYBps, "+y")
+				mk(dirYMinus, cfg.GeminiYBps, "-y")
+				mk(dirZPlus, cfg.GeminiZBps, "+z")
+				mk(dirZMinus, cfg.GeminiZBps, "-z")
+				r.inject[i] = net.NewLink(fmt.Sprintf("inj%v", c), cfg.InjectBps, cfg.GeminiLatency)
+			}
+		}
+	}
+	return r
+}
+
+// local maps a slab coordinate to its index in the link arrays.
+func (r *RegionFabric) local(c topology.Coord) int {
+	t := r.Cfg.Torus
+	return ((c.X-r.X0)*t.NY+c.Y)*t.NZ + c.Z
+}
+
+// Owns reports whether the slab owns node c (and so its links).
+func (r *RegionFabric) Owns(c topology.Coord) bool { return c.X >= r.X0 && c.X < r.X1 }
+
+// GeminiLink returns node c's torus link in direction dir (see StepDir).
+func (r *RegionFabric) GeminiLink(c topology.Coord, dir int) *Link {
+	if !r.Owns(c) {
+		panic(fmt.Sprintf("netsim: node %v outside region slab [%d,%d)", c, r.X0, r.X1)) //simlint:allow no-library-panic caller-contract assertion: the path segmenter must route each hop to its owning slab
+	}
+	return r.gem[r.local(c)][dir]
+}
+
+// InjectLink returns node c's compute-NIC injection link.
+func (r *RegionFabric) InjectLink(c topology.Coord) *Link {
+	if !r.Owns(c) {
+		panic(fmt.Sprintf("netsim: node %v outside region slab [%d,%d)", c, r.X0, r.X1)) //simlint:allow no-library-panic caller-contract assertion: flows inject at their home slab
+	}
+	return r.inject[r.local(c)]
+}
+
+// Links returns how many links the slab built (scale reporting).
+func (r *RegionFabric) Links() int { return 7 * len(r.inject) }

@@ -1,0 +1,109 @@
+package netsim
+
+import (
+	"testing"
+
+	"spiderfs/internal/sim"
+	"spiderfs/internal/topology"
+)
+
+// A partition of region slabs must rebuild exactly the torus/injection
+// hardware the monolithic fabric builds: same per-node link layout, same
+// capacities and latencies, every node owned by exactly one slab.
+func TestRegionFabricMatchesMonolithicTorus(t *testing.T) {
+	cfg := Spider2Fabric()
+	cfg.Torus = topology.Torus{NX: 6, NY: 4, NZ: 4}
+	tor := cfg.Torus
+
+	eng := sim.NewEngine()
+	mono := NewFabric(eng, cfg, topology.PlaceRouters(topology.CabinetGrid{Cols: 6, Rows: 2}, tor, 4, 2), 8)
+
+	bounds := []int{0, 2, 4, 6} // three slabs of width 2
+	owners := make([]int, tor.Nodes())
+	for i := range owners {
+		owners[i] = -1
+	}
+	for s := 0; s+1 < len(bounds); s++ {
+		reng := sim.NewEngine()
+		rf := NewRegionFabric(NewNetwork(reng), cfg, bounds[s], bounds[s+1])
+		if got, want := rf.Links(), 7*(bounds[s+1]-bounds[s])*tor.NY*tor.NZ; got != want {
+			t.Fatalf("slab %d built %d links, want %d", s, got, want)
+		}
+		for i := 0; i < tor.Nodes(); i++ {
+			c := tor.CoordOf(i)
+			if !rf.Owns(c) {
+				continue
+			}
+			if owners[i] >= 0 {
+				t.Fatalf("node %v owned by slabs %d and %d", c, owners[i], s)
+			}
+			owners[i] = s
+			for dir := 0; dir < 6; dir++ {
+				got := rf.GeminiLink(c, dir)
+				want := mono.gem[i][dir]
+				if got.Cap != want.Cap || got.Latency != want.Latency || got.Name != want.Name {
+					t.Fatalf("node %v dir %d: slab link %q cap=%v lat=%v, monolithic %q cap=%v lat=%v",
+						c, dir, got.Name, got.Cap, got.Latency, want.Name, want.Cap, want.Latency)
+				}
+			}
+			gi, wi := rf.InjectLink(c), mono.inject[i]
+			if gi.Cap != wi.Cap || gi.Latency != wi.Latency || gi.Name != wi.Name {
+				t.Fatalf("node %v inject: slab %q cap=%v, monolithic %q cap=%v", c, gi.Name, gi.Cap, wi.Name, wi.Cap)
+			}
+		}
+	}
+	for i, s := range owners {
+		if s < 0 {
+			t.Fatalf("node %v owned by no slab", tor.CoordOf(i))
+		}
+	}
+}
+
+func TestRegionFabricOwnershipPanics(t *testing.T) {
+	cfg := Spider2Fabric()
+	cfg.Torus = topology.Torus{NX: 4, NY: 2, NZ: 2}
+	rf := NewRegionFabric(NewNetwork(sim.NewEngine()), cfg, 0, 2)
+	outside := topology.Coord{X: 3, Y: 0, Z: 0}
+	if rf.Owns(outside) {
+		t.Fatalf("slab [0,2) claims to own %v", outside)
+	}
+	mustPanic(t, "GeminiLink outside slab", func() { rf.GeminiLink(outside, dirXPlus) })
+	mustPanic(t, "InjectLink outside slab", func() { rf.InjectLink(outside) })
+	mustPanic(t, "inverted slab bounds", func() { NewRegionFabric(NewNetwork(sim.NewEngine()), cfg, 2, 2) })
+}
+
+// StepDir must agree with the per-node link ordering for every unit hop,
+// including wraparound hops in both directions.
+func TestStepDirCoversAllHops(t *testing.T) {
+	tor := topology.Torus{NX: 5, NY: 3, NZ: 4}
+	type hop struct {
+		d       topology.Coord
+		wantDir int
+	}
+	at := func(c topology.Coord) topology.Coord {
+		return topology.Coord{X: (c.X + tor.NX) % tor.NX, Y: (c.Y + tor.NY) % tor.NY, Z: (c.Z + tor.NZ) % tor.NZ}
+	}
+	for i := 0; i < tor.Nodes(); i++ {
+		cur := tor.CoordOf(i)
+		for _, h := range []hop{
+			{topology.Coord{X: 1}, dirXPlus}, {topology.Coord{X: -1}, dirXMinus},
+			{topology.Coord{Y: 1}, dirYPlus}, {topology.Coord{Y: -1}, dirYMinus},
+			{topology.Coord{Z: 1}, dirZPlus}, {topology.Coord{Z: -1}, dirZMinus},
+		} {
+			next := at(topology.Coord{X: cur.X + h.d.X, Y: cur.Y + h.d.Y, Z: cur.Z + h.d.Z})
+			if got := StepDir(tor, cur, next); got != h.wantDir {
+				t.Fatalf("StepDir(%v -> %v) = %d, want %d", cur, next, got, h.wantDir)
+			}
+		}
+	}
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}

@@ -11,6 +11,17 @@ const netsimCommitted = `{
     {"name": "start_finish/map_baseline", "ns_per_op": 11399.5, "allocs_per_op": 62},
     {"name": "start_finish/ordered", "ns_per_op": 1663.5, "allocs_per_op": 4}
   ],
+  "shard": {
+    "regions": 8, "storage_shards": 36, "lookahead_ns": 120, "cpus": 8,
+    "runs": [
+      {"workers": 1, "ns_per_op": 91000000, "ns_per_flow_event": 5500, "fingerprint": "4a385d102758467e"},
+      {"workers": 2, "ns_per_op": 52000000, "ns_per_flow_event": 3100, "fingerprint": "4a385d102758467e"},
+      {"workers": 4, "ns_per_op": 31000000, "ns_per_flow_event": 1900, "fingerprint": "4a385d102758467e"},
+      {"workers": 8, "ns_per_op": 24000000, "ns_per_flow_event": 1450, "fingerprint": "4a385d102758467e"}
+    ],
+    "deterministic": true,
+    "speedup": 3.79
+  },
   "start_finish_alloc_ratio": 15.5,
   "start_finish_speedup": 6.85
 }`
@@ -180,6 +191,40 @@ func TestNetsimGates(t *testing.T) {
 		`"start_finish_alloc_ratio": 13.0`, 1)
 	if out := mustCompare(t, "BENCH_netsim.json", netsimCommitted, drift); len(out) != 0 {
 		t.Errorf("in-tolerance drift tripped the gate: %v", out)
+	}
+}
+
+// TestShardGates is the sabotage suite for the sharded-engine section:
+// the fresh run must keep the section, stay deterministic across
+// double-runs, and every worker count's fingerprint must exactly equal
+// the fresh serial run's. Parallel speedup is recorded, never gated —
+// a 1-CPU host regenerating the artifact cannot exceed 1.
+func TestShardGates(t *testing.T) {
+	gone := strings.Replace(netsimCommitted, `"deterministic": true,
+    "speedup": 3.79`, `"deterministic": true, "speedup": 3.79`, 1)
+	gone = strings.Replace(gone, `"shard": {`, `"shard_disabled": {`, 1)
+	wantCheck(t, mustCompare(t, "BENCH_netsim.json", netsimCommitted, gone), "shard-missing")
+
+	racy := strings.Replace(netsimCommitted, `"deterministic": true`,
+		`"deterministic": false`, 1)
+	wantCheck(t, mustCompare(t, "BENCH_netsim.json", netsimCommitted, racy), "shard-deterministic")
+
+	drift := strings.Replace(netsimCommitted,
+		`{"workers": 4, "ns_per_op": 31000000, "ns_per_flow_event": 1900, "fingerprint": "4a385d102758467e"}`,
+		`{"workers": 4, "ns_per_op": 31000000, "ns_per_flow_event": 1900, "fingerprint": "deadbeefdeadbeef"}`, 1)
+	wantCheck(t, mustCompare(t, "BENCH_netsim.json", netsimCommitted, drift), "shard-fingerprint")
+
+	// Fingerprint identity is within the fresh artifact: a fresh serial
+	// fingerprint that differs from the committed one (workload retuned)
+	// passes as long as every worker count agrees with it.
+	retuned := strings.Replace(netsimCommitted, "4a385d102758467e", "0123456789abcdef", 4)
+	if out := mustCompare(t, "BENCH_netsim.json", netsimCommitted, retuned); len(out) != 0 {
+		t.Errorf("internally consistent fingerprints tripped the gate: %v", out)
+	}
+
+	slow := strings.Replace(netsimCommitted, `"speedup": 3.79`, `"speedup": 0.91`, 1)
+	if out := mustCompare(t, "BENCH_netsim.json", netsimCommitted, slow); len(out) != 0 {
+		t.Errorf("shard speedup drift should not trip the gate: %v", out)
 	}
 }
 

@@ -1,0 +1,288 @@
+package shard
+
+import (
+	"fmt"
+
+	"spiderfs/internal/netsim"
+	"spiderfs/internal/rng"
+	"spiderfs/internal/sim"
+	"spiderfs/internal/topology"
+)
+
+// FabricConfig describes a partitioned Spider I/O fabric: the torus cut
+// into contiguous X-slab region shards (dimension-ordered routing walks
+// X first, so a path crosses each slab at most once and runs its whole
+// Y/Z phase inside the final slab), and the router/OSS population cut
+// into storage shards, each owning a contiguous router range and OSS
+// range and modeling the [router forwarding, OSS port] tail of the path.
+// The SAN core tier is omitted from the sharded model: FGR keeps almost
+// all traffic off the core (see BENCH results for the monolithic
+// fabric), and a shared core link would couple every storage shard to
+// every other, destroying the partition. DESIGN.md states this
+// approximation.
+type FabricConfig struct {
+	Net     netsim.FabricConfig
+	Regions int // X-slab region shards
+	Storage int // storage shards (router+OSS ranges)
+	OSSes   int
+	Routers int
+
+	// Lookahead is both the conservative synchronization window slack and
+	// the modeled hand-off latency between path segments (the per-hop
+	// latency the monolithic fabric pre-charges is paid here at each
+	// shard boundary instead).
+	Lookahead sim.Time
+	Workers   int
+}
+
+// Spider2Partition returns the production-scale partition: the Titan
+// torus cut into regions X-slabs, Spider II's 440 routers and 288 OSSes
+// cut into storage shards, synchronized at the Gemini hop latency.
+func Spider2Partition(regions, storage, workers int) FabricConfig {
+	net := netsim.Spider2Fabric()
+	return FabricConfig{
+		Net:       net,
+		Regions:   regions,
+		Storage:   storage,
+		OSSes:     288,
+		Routers:   440,
+		Lookahead: net.GeminiLatency,
+		Workers:   workers,
+	}
+}
+
+// SmallPartition returns a test-scale partition (a 6x4x4 torus, three
+// slabs, two storage shards) that still exercises every seam:
+// multi-slab gemini paths, wraparound hops, and cross-shard hand-offs.
+func SmallPartition(workers int) FabricConfig {
+	net := netsim.Spider2Fabric()
+	net.Torus = topology.Torus{NX: 6, NY: 4, NZ: 4}
+	return FabricConfig{
+		Net:       net,
+		Regions:   3,
+		Storage:   2,
+		OSSes:     12,
+		Routers:   16,
+		Lookahead: net.GeminiLatency,
+		Workers:   workers,
+	}
+}
+
+// planSeg is one shard-local stretch of a flow's path.
+type planSeg struct {
+	shard int
+	links []*netsim.Link
+}
+
+// flight is one transfer moving through its path segments.
+type flight struct {
+	segs  []planSeg
+	bytes float64
+}
+
+type regionShard struct {
+	s   *Shard
+	net *netsim.Network
+	rf  *netsim.RegionFabric
+}
+
+type storageShard struct {
+	s         *Shard
+	net       *netsim.Network
+	rlo, rhi  int // router ID range [rlo, rhi)
+	olo, ohi  int // OSS index range [olo, ohi)
+	routerFwd []*netsim.Link
+	ossPort   []*netsim.Link
+
+	// Written only from this shard's engine; read after Run returns.
+	completed uint64
+	bytes     float64
+}
+
+// FabricSim is the sharded counterpart of netsim.Fabric + its driver: a
+// Runner whose shards 0..Regions-1 hold torus slabs and whose shards
+// Regions..Regions+Storage-1 hold router/OSS tails.
+type FabricSim struct {
+	Cfg    FabricConfig
+	Runner *Runner
+
+	regions     []*regionShard
+	storage     []*storageShard
+	xToRegion   []int
+	routerCoord []topology.Coord
+	launched    uint64
+}
+
+// NewFabricSim builds the partition. Every link of every shard is
+// created in a fixed serial order, so engine sequence numbering — and
+// with it the run fingerprint — depends only on the configuration.
+func NewFabricSim(cfg FabricConfig) *FabricSim {
+	t := cfg.Net.Torus
+	if cfg.Regions < 1 || cfg.Regions > t.NX {
+		panic(fmt.Sprintf("shard: %d region slabs for torus X dimension %d", cfg.Regions, t.NX)) //simlint:allow no-library-panic caller-contract assertion: invalid partition is a builder bug
+	}
+	if cfg.Storage < 1 || cfg.Storage > cfg.OSSes || cfg.Storage > cfg.Routers {
+		panic(fmt.Sprintf("shard: %d storage shards for %d OSSes / %d routers", cfg.Storage, cfg.OSSes, cfg.Routers)) //simlint:allow no-library-panic caller-contract assertion: invalid partition is a builder bug
+	}
+	fs := &FabricSim{Cfg: cfg, Runner: NewRunner(cfg.Regions+cfg.Storage, cfg.Lookahead, cfg.Workers)}
+
+	fs.xToRegion = make([]int, t.NX)
+	fs.regions = make([]*regionShard, cfg.Regions)
+	for i := 0; i < cfg.Regions; i++ {
+		x0 := i * t.NX / cfg.Regions
+		x1 := (i + 1) * t.NX / cfg.Regions
+		for x := x0; x < x1; x++ {
+			fs.xToRegion[x] = i
+		}
+		s := fs.Runner.Shard(i)
+		net := netsim.NewNetwork(s.Eng)
+		fs.regions[i] = &regionShard{s: s, net: net, rf: netsim.NewRegionFabric(net, cfg.Net, x0, x1)}
+	}
+
+	// Routers sit evenly spaced along the torus index space, mirroring
+	// the monolithic placement's intent without its cabinet bookkeeping.
+	fs.routerCoord = make([]topology.Coord, cfg.Routers)
+	for rid := 0; rid < cfg.Routers; rid++ {
+		fs.routerCoord[rid] = t.CoordOf(rid * t.Nodes() / cfg.Routers)
+	}
+
+	fs.storage = make([]*storageShard, cfg.Storage)
+	for i := 0; i < cfg.Storage; i++ {
+		s := fs.Runner.Shard(cfg.Regions + i)
+		st := &storageShard{
+			s:   s,
+			net: netsim.NewNetwork(s.Eng),
+			rlo: i * cfg.Routers / cfg.Storage,
+			rhi: (i + 1) * cfg.Routers / cfg.Storage,
+			olo: i * cfg.OSSes / cfg.Storage,
+			ohi: (i + 1) * cfg.OSSes / cfg.Storage,
+		}
+		for rid := st.rlo; rid < st.rhi; rid++ {
+			st.routerFwd = append(st.routerFwd, st.net.NewLink(fmt.Sprintf("rtr%d-fwd", rid), cfg.Net.RouterBps, cfg.Net.IBLatency))
+		}
+		for oss := st.olo; oss < st.ohi; oss++ {
+			st.ossPort = append(st.ossPort, st.net.NewLink(fmt.Sprintf("oss%d-port", oss), cfg.Net.IBPortBps, cfg.Net.IBLatency))
+		}
+		fs.storage[i] = st
+	}
+	return fs
+}
+
+// storageOf returns the storage shard serving an OSS index.
+func (fs *FabricSim) storageOf(oss int) *storageShard {
+	i := oss * fs.Cfg.Storage / fs.Cfg.OSSes
+	// Integer range splits are not perfectly inverted by this division;
+	// walk to the owning range (at most one step either way).
+	for fs.storage[i].olo > oss {
+		i--
+	}
+	for fs.storage[i].ohi <= oss {
+		i++
+	}
+	return fs.storage[i]
+}
+
+// plan builds the per-shard path segments for one transfer: injection
+// and gemini hops grouped by owning slab (a hop's link belongs to its
+// source node's slab), then the router/OSS tail on the storage shard.
+func (fs *FabricSim) plan(c topology.Coord, rid, oss int) []planSeg {
+	t := fs.Cfg.Net.Torus
+	first := fs.xToRegion[c.X]
+	segs := []planSeg{{shard: first, links: []*netsim.Link{fs.regions[first].rf.InjectLink(c)}}}
+	cur := c
+	t.Walk(c, fs.routerCoord[rid], func(next topology.Coord) {
+		own := fs.xToRegion[cur.X]
+		if segs[len(segs)-1].shard != own {
+			segs = append(segs, planSeg{shard: own})
+		}
+		seg := &segs[len(segs)-1]
+		seg.links = append(seg.links, fs.regions[own].rf.GeminiLink(cur, netsim.StepDir(t, cur, next)))
+		cur = next
+	})
+	st := fs.storageOf(oss)
+	segs = append(segs, planSeg{
+		shard: st.s.Index,
+		links: []*netsim.Link{st.routerFwd[rid-st.rlo], st.ossPort[oss-st.olo]},
+	})
+	return segs
+}
+
+// startSegment launches segment k of f on its owning shard's network
+// (the caller must be running on that shard's engine) and chains the
+// next segment through the barrier at completion.
+func (fs *FabricSim) startSegment(f *flight, k int) {
+	seg := f.segs[k]
+	var net *netsim.Network
+	if seg.shard < fs.Cfg.Regions {
+		net = fs.regions[seg.shard].net
+	} else {
+		net = fs.storage[seg.shard-fs.Cfg.Regions].net
+	}
+	sh := fs.Runner.Shard(seg.shard)
+	net.StartFlow(seg.links, f.bytes, func() {
+		if k+1 < len(f.segs) {
+			sh.Send(sh.Eng.Now()+fs.Cfg.Lookahead, f.segs[k+1].shard, func() {
+				fs.startSegment(f, k+1)
+			})
+			return
+		}
+		st := fs.storage[seg.shard-fs.Cfg.Regions]
+		st.completed++
+		st.bytes += f.bytes
+	})
+}
+
+// LaunchWave schedules flows transfers of bytes each, starting at time
+// at (which must be >= Runner.Horizon()). All randomness — client
+// coordinate, OSS, and router within the OSS's storage shard — is drawn
+// serially from src before anything runs, the same pre-derivation
+// recipe internal/sweep uses, so the wave is identical at any worker
+// count. Routers are picked within the destination storage shard's
+// range: the sharded analogue of FGR's "router attached to the
+// destination's switch" discipline.
+func (fs *FabricSim) LaunchWave(src *rng.Source, flows int, bytes float64, at sim.Time) {
+	t := fs.Cfg.Net.Torus
+	for i := 0; i < flows; i++ {
+		c := t.CoordOf(src.Intn(t.Nodes()))
+		oss := src.Intn(fs.Cfg.OSSes)
+		st := fs.storageOf(oss)
+		rid := st.rlo + src.Intn(st.rhi-st.rlo)
+		f := &flight{segs: fs.plan(c, rid, oss), bytes: bytes}
+		fs.regions[f.segs[0].shard].s.Eng.At(at, func() { fs.startSegment(f, 0) })
+		fs.launched++
+	}
+}
+
+// Launched returns the number of flows scheduled so far.
+func (fs *FabricSim) Launched() uint64 { return fs.launched }
+
+// Completed sums finished transfers across storage shards. Read it only
+// after Run has returned.
+func (fs *FabricSim) Completed() uint64 {
+	var n uint64
+	for _, st := range fs.storage {
+		n += st.completed
+	}
+	return n
+}
+
+// BytesDelivered sums delivered payload bytes across storage shards.
+func (fs *FabricSim) BytesDelivered() float64 {
+	var b float64
+	for _, st := range fs.storage {
+		b += st.bytes
+	}
+	return b
+}
+
+// Links returns the total link count across all shards (scale report).
+func (fs *FabricSim) Links() int {
+	n := 0
+	for _, r := range fs.regions {
+		n += r.rf.Links()
+	}
+	for _, st := range fs.storage {
+		n += len(st.routerFwd) + len(st.ossPort)
+	}
+	return n
+}

@@ -1,0 +1,128 @@
+package shard
+
+import (
+	"testing"
+
+	"spiderfs/internal/rng"
+)
+
+// run builds a small partition with the given worker count, launches one
+// deterministic wave, and drains it.
+func runSmallWave(t *testing.T, workers, flows int) *FabricSim {
+	t.Helper()
+	fs := NewFabricSim(SmallPartition(workers))
+	fs.LaunchWave(rng.New(42), flows, 1e6, 0)
+	if st := fs.Runner.Run(); st != Quiescent {
+		t.Fatalf("workers=%d: Run = %v, want %v", workers, st, Quiescent)
+	}
+	return fs
+}
+
+func TestFabricSimCompletesEveryFlow(t *testing.T) {
+	const flows = 400
+	fs := runSmallWave(t, 1, flows)
+	if fs.Completed() != flows {
+		t.Fatalf("completed %d of %d flows", fs.Completed(), flows)
+	}
+	if got, want := fs.BytesDelivered(), float64(flows)*1e6; got != want {
+		t.Fatalf("delivered %g bytes, want %g", got, want)
+	}
+	if fs.Runner.Merged() == 0 {
+		t.Fatal("no cross-shard hand-offs: the partition is not being exercised")
+	}
+	if fs.Launched() != flows {
+		t.Fatalf("launched %d, want %d", fs.Launched(), flows)
+	}
+}
+
+// The tentpole acceptance test: the sharded run's event-trace
+// fingerprint must be byte-identical to the serial (workers=1) run at
+// every tested worker count, and stable across double runs — the same
+// recipe internal/sweep's determinism gate uses.
+func TestFabricSimDeterministicAcrossWorkers(t *testing.T) {
+	const flows = 400
+	serial := runSmallWave(t, 1, flows)
+	for _, workers := range []int{1, 2, 4, 8} {
+		a := runSmallWave(t, workers, flows)
+		b := runSmallWave(t, workers, flows)
+		if a.Runner.Fingerprint() != b.Runner.Fingerprint() {
+			t.Fatalf("workers=%d: double-run fingerprints differ: %016x vs %016x",
+				workers, a.Runner.Fingerprint(), b.Runner.Fingerprint())
+		}
+		if a.Runner.Fingerprint() != serial.Runner.Fingerprint() {
+			t.Fatalf("workers=%d: fingerprint %016x differs from serial %016x",
+				workers, a.Runner.Fingerprint(), serial.Runner.Fingerprint())
+		}
+		if a.Runner.Events() != serial.Runner.Events() {
+			t.Fatalf("workers=%d: fired %d events, serial fired %d",
+				workers, a.Runner.Events(), serial.Runner.Events())
+		}
+		if a.Completed() != serial.Completed() || a.Runner.Now() != serial.Runner.Now() {
+			t.Fatalf("workers=%d: completed=%d now=%v, serial completed=%d now=%v",
+				workers, a.Completed(), a.Runner.Now(), serial.Completed(), serial.Runner.Now())
+		}
+	}
+}
+
+// Waves launched after a drained Run (scheduled at the runner horizon)
+// must keep the simulation deterministic too — the multi-wave shape the
+// congestion benchmark uses.
+func TestFabricSimDeterministicAcrossWaves(t *testing.T) {
+	run := func(workers int) *FabricSim {
+		fs := NewFabricSim(SmallPartition(workers))
+		src := rng.New(9)
+		for wave := 0; wave < 3; wave++ {
+			fs.LaunchWave(src, 150, 2e6, fs.Runner.Horizon())
+			if st := fs.Runner.Run(); st != Quiescent {
+				t.Fatalf("workers=%d wave %d: Run = %v", workers, wave, st)
+			}
+		}
+		return fs
+	}
+	serial := run(1)
+	if serial.Completed() != 450 {
+		t.Fatalf("completed %d of 450 flows", serial.Completed())
+	}
+	for _, workers := range []int{2, 4, 8} {
+		p := run(workers)
+		if p.Runner.Fingerprint() != serial.Runner.Fingerprint() {
+			t.Fatalf("workers=%d: multi-wave fingerprint %016x differs from serial %016x",
+				workers, p.Runner.Fingerprint(), serial.Runner.Fingerprint())
+		}
+	}
+}
+
+// Every OSS must resolve to the storage shard whose range contains it,
+// and every plan must start in the client's slab and end in the OSS's
+// storage shard.
+func TestFabricSimPartitionCoverage(t *testing.T) {
+	fs := NewFabricSim(SmallPartition(1))
+	cfg := fs.Cfg
+	for oss := 0; oss < cfg.OSSes; oss++ {
+		st := fs.storageOf(oss)
+		if oss < st.olo || oss >= st.ohi {
+			t.Fatalf("OSS %d resolved to shard range [%d,%d)", oss, st.olo, st.ohi)
+		}
+	}
+	t1 := cfg.Net.Torus
+	src := rng.New(3)
+	for i := 0; i < 200; i++ {
+		c := t1.CoordOf(src.Intn(t1.Nodes()))
+		oss := src.Intn(cfg.OSSes)
+		st := fs.storageOf(oss)
+		rid := st.rlo + src.Intn(st.rhi-st.rlo)
+		segs := fs.plan(c, rid, oss)
+		if segs[0].shard != fs.xToRegion[c.X] {
+			t.Fatalf("plan for client %v starts on shard %d, want slab %d", c, segs[0].shard, fs.xToRegion[c.X])
+		}
+		if last := segs[len(segs)-1]; last.shard != st.s.Index || len(last.links) != 2 {
+			t.Fatalf("plan tail on shard %d with %d links, want storage shard %d with 2",
+				last.shard, len(last.links), st.s.Index)
+		}
+		for k := 1; k < len(segs); k++ {
+			if segs[k].shard == segs[k-1].shard {
+				t.Fatalf("consecutive segments on shard %d: hand-off to self", segs[k].shard)
+			}
+		}
+	}
+}

@@ -1,0 +1,321 @@
+// Package shard runs several sim.Engines in parallel under a
+// conservative time-window barrier, turning the single-threaded
+// discrete-event simulator into a sharded parallel one without giving up
+// bit-identical traces.
+//
+// The model is classic conservative parallel discrete-event simulation:
+// the system is partitioned into weakly-coupled shards (per-SSU storage
+// stacks, torus regions of the fabric) that only influence each other
+// with a known minimum delay, the Lookahead. Execution proceeds in
+// quanta. Before each quantum the runner computes the earliest pending
+// event time across all shards, minNext, and sets the window end
+//
+//	E = minNext + Lookahead.
+//
+// Every shard then runs its own engine through [now, E) on its own
+// worker goroutine — shared-nothing, no locks on the event path. Any
+// cross-shard influence is expressed as a Send(at, dst, fn) with
+// at >= senderNow + Lookahead; since every event fired during the
+// quantum has time t >= minNext, every send satisfies at >= minNext +
+// Lookahead = E, i.e. no message can land inside the window that
+// produced it. Messages are buffered in per-shard outboxes and delivered
+// only at the barrier, in (shard index, send order) — a deterministic
+// order independent of how many workers raced through the quantum, so
+// the destination engine assigns the same FIFO sequence numbers as a
+// serial run and the event-trace fingerprint is byte-identical at any
+// worker count (the same double-run recipe internal/sweep uses).
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"spiderfs/internal/sim"
+)
+
+// message is one cross-shard event waiting in an outbox.
+type message struct {
+	at  sim.Time
+	dst int
+	fn  func()
+}
+
+// Shard is one partition of the model: a private engine plus an ordered
+// outbox of cross-shard sends. Model code attached to a shard must touch
+// only that shard's state from its event callbacks; the runner confines
+// each engine to one worker goroutine per quantum, and the barrier is
+// the only place state crosses shards.
+type Shard struct {
+	Index int
+	Eng   *sim.Engine
+
+	r      *Runner
+	outbox []message
+	trace  *sim.TraceHash
+}
+
+// Send schedules fn to run on shard dst at absolute time at. It is the
+// only legal way for model code on one shard to affect another. The
+// delivery time must respect the lookahead (at >= sender's now +
+// Lookahead) and can never fall inside the current window — both are
+// causality assertions, so violating them panics rather than silently
+// corrupting the merge order.
+func (s *Shard) Send(at sim.Time, dst int, fn func()) {
+	if at < s.Eng.Now()+s.r.lookahead {
+		panic(fmt.Sprintf("shard: send at %v violates lookahead %v from now %v", at, s.r.lookahead, s.Eng.Now())) //simlint:allow no-library-panic causality assertion: a sub-lookahead send breaks the conservative window proof
+	}
+	if at < s.r.horizon {
+		panic(fmt.Sprintf("shard: send at %v lands inside current window ending %v", at, s.r.horizon)) //simlint:allow no-library-panic causality assertion: delivery into an open window would race the quantum
+	}
+	if dst < 0 || dst >= len(s.r.shards) {
+		panic(fmt.Sprintf("shard: send to unknown shard %d of %d", dst, len(s.r.shards))) //simlint:allow no-library-panic caller-contract assertion: shard indices are fixed at partition time
+	}
+	s.outbox = append(s.outbox, message{at: at, dst: dst, fn: fn})
+}
+
+// Status reports how a Run ended.
+type Status int
+
+const (
+	// Quiescent: every engine drained and every outbox is empty.
+	Quiescent Status = iota
+	// Stopped: a shard engine has a sticky Stop set (model-initiated
+	// pause). State is resumable: ClearStop then Run again.
+	Stopped
+	// Exhausted: MaxQuanta windows ran without quiescence. The runner
+	// stopped every engine (sticky), so a Run without ClearStop returns
+	// immediately instead of silently spinning again.
+	Exhausted
+)
+
+func (s Status) String() string {
+	switch s {
+	case Quiescent:
+		return "quiescent"
+	case Stopped:
+		return "stopped"
+	case Exhausted:
+		return "exhausted"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Runner drives a set of shards through conservative windows.
+type Runner struct {
+	shards    []*Shard
+	lookahead sim.Time
+	workers   int
+
+	// MaxQuanta bounds one Run call's window count; 0 means unlimited.
+	// Hitting the bound stops every engine (sticky) and returns
+	// Exhausted — the livelock guard for models that never drain.
+	MaxQuanta uint64
+
+	horizon    sim.Time // end of the window currently (or last) executed
+	windowOpen bool     // a window was interrupted by Stop before its barrier
+	quanta     uint64
+	merged     uint64 // cross-shard messages delivered at barriers
+}
+
+// NewRunner creates n empty shards synchronized with the given lookahead
+// and run by up to workers goroutines per quantum. Lookahead must be at
+// least one tick: the window [now, minNext+Lookahead) must contain the
+// minNext event or no quantum could make progress. workers < 1 is
+// treated as 1 (serial); the fingerprint does not depend on workers.
+func NewRunner(n int, lookahead sim.Time, workers int) *Runner {
+	if n <= 0 {
+		panic("shard: runner needs at least one shard") //simlint:allow no-library-panic caller-contract assertion: an empty partition is a builder bug
+	}
+	if lookahead < 1 {
+		panic(fmt.Sprintf("shard: lookahead %v must be >= 1 tick for windows to make progress", lookahead)) //simlint:allow no-library-panic caller-contract assertion: zero lookahead livelocks the conservative window
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	r := &Runner{lookahead: lookahead, workers: workers}
+	r.shards = make([]*Shard, n)
+	for i := range r.shards {
+		s := &Shard{Index: i, Eng: sim.NewEngine(), r: r, trace: sim.NewTraceHash()}
+		s.Eng.SetTrace(s.trace.Observe)
+		r.shards[i] = s
+	}
+	return r
+}
+
+// Shard returns shard i (partition builders attach model state to it).
+func (r *Runner) Shard(i int) *Shard { return r.shards[i] }
+
+// NumShards returns the partition size.
+func (r *Runner) NumShards() int { return len(r.shards) }
+
+// Lookahead returns the minimum cross-shard delay the runner enforces.
+func (r *Runner) Lookahead() sim.Time { return r.lookahead }
+
+// Quanta returns how many synchronization windows have executed.
+func (r *Runner) Quanta() uint64 { return r.quanta }
+
+// Merged returns how many cross-shard messages barriers have delivered.
+func (r *Runner) Merged() uint64 { return r.merged }
+
+// Horizon returns the end of the last executed window: the earliest time
+// new work scheduled from outside (between Run calls) may safely use.
+func (r *Runner) Horizon() sim.Time { return r.horizon }
+
+// Now returns the maximum engine clock across shards.
+func (r *Runner) Now() sim.Time {
+	var now sim.Time
+	for _, s := range r.shards {
+		if t := s.Eng.Now(); t > now {
+			now = t
+		}
+	}
+	return now
+}
+
+// Events returns the total number of events fired across all shards.
+func (r *Runner) Events() uint64 {
+	var n uint64
+	for _, s := range r.shards {
+		n += s.Eng.Fired()
+	}
+	return n
+}
+
+// Fingerprint folds the per-shard event traces, in shard index order,
+// into one comparable value. Runs that fired the same events in the same
+// per-shard order — regardless of worker count — produce identical
+// fingerprints.
+func (r *Runner) Fingerprint() uint64 {
+	h := sim.NewTraceHash()
+	for _, s := range r.shards {
+		h.Observe(sim.Time(s.trace.Sum()), s.trace.Events())
+	}
+	return h.Sum()
+}
+
+// stoppedShard returns the first shard with a sticky Stop set, or -1.
+func (r *Runner) stoppedShard() int {
+	for _, s := range r.shards {
+		if s.Eng.Stopped() {
+			return s.Index
+		}
+	}
+	return -1
+}
+
+// ClearStop re-arms every stopped engine so a Run can resume after a
+// model-initiated Stop or an Exhausted return.
+func (r *Runner) ClearStop() {
+	for _, s := range r.shards {
+		s.Eng.ClearStop()
+	}
+}
+
+// stopAll sets the sticky Stop on every engine.
+func (r *Runner) stopAll() {
+	for _, s := range r.shards {
+		s.Eng.Stop()
+	}
+}
+
+// Run executes windows until every shard is quiescent (drained engine,
+// empty outbox), a shard stops itself, or MaxQuanta is hit. It returns
+// why it stopped. A Run entered with a sticky Stop still set returns
+// Stopped immediately — the Stop is not silently lost.
+//
+// Stop/resume is window-exact: a Stop that fires mid-window leaves the
+// window open with its end unchanged, outboxes buffered, and the barrier
+// unmerged. The next Run (after ClearStop) completes that same window
+// before delivering, so every shard fires the same events in the same
+// order as an uninterrupted run and the fingerprint is unchanged.
+// Re-running the window with a recomputed (smaller) end instead would
+// let barrier deliveries land in the past of shards that had already
+// reached the original end.
+func (r *Runner) Run() Status {
+	var ranQuanta uint64
+	for {
+		if r.stoppedShard() >= 0 {
+			return Stopped
+		}
+		if !r.windowOpen {
+			// Window end: minimum next event time across shards plus the
+			// lookahead. Outboxes are empty here — the barrier closing the
+			// previous window drained them — so pending engine events are
+			// the only work left.
+			minNext := sim.Time(0)
+			any := false
+			for _, s := range r.shards {
+				if t, ok := s.Eng.NextEventTime(); ok && (!any || t < minNext) {
+					minNext = t
+					any = true
+				}
+			}
+			if !any {
+				return Quiescent
+			}
+			if r.MaxQuanta > 0 && ranQuanta >= r.MaxQuanta {
+				r.stopAll()
+				return Exhausted
+			}
+			r.horizon = minNext + r.lookahead
+			r.windowOpen = true
+		}
+		// RunUntil is inclusive; the window is [.., horizon), so drive
+		// each engine through horizon-1. Time is integral nanoseconds, so
+		// this is exact. Idle engines still advance their clock to
+		// horizon-1, keeping every shard's notion of "the past" aligned at
+		// the barrier.
+		r.runQuantum(r.horizon - 1)
+		ranQuanta++
+		r.quanta++
+		if r.stoppedShard() >= 0 {
+			return Stopped // window stays open; a resumed Run completes it
+		}
+		// Barrier: deliver outboxes in (shard index, send order). This
+		// serial merge is the only place cross-shard state moves, and its
+		// order is independent of worker scheduling.
+		for _, s := range r.shards {
+			for _, m := range s.outbox {
+				r.shards[m.dst].Eng.At(m.at, m.fn)
+				r.merged++
+			}
+			s.outbox = s.outbox[:0]
+		}
+		r.windowOpen = false
+	}
+}
+
+// runQuantum drives every shard's engine through RunUntil(end) using up
+// to r.workers goroutines. Shards are claimed from an atomic counter, so
+// which worker runs which shard is scheduler-dependent — but engines are
+// shared-nothing during the quantum, so that nondeterminism never
+// touches model state or event order.
+func (r *Runner) runQuantum(end sim.Time) {
+	w := r.workers
+	if w > len(r.shards) {
+		w = len(r.shards)
+	}
+	if w <= 1 {
+		for _, s := range r.shards {
+			s.Eng.RunUntil(end)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(r.shards) {
+					return
+				}
+				r.shards[i].Eng.RunUntil(end)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,157 @@
+package shard
+
+import (
+	"testing"
+
+	"spiderfs/internal/sim"
+)
+
+// Two shards bouncing a message back and forth across the barrier: the
+// smallest model with genuine cross-shard causality.
+func TestRunnerPingPongQuiesces(t *testing.T) {
+	r := NewRunner(2, 10, 1)
+	const hops = 8
+	var hop func(s *Shard, n int)
+	hop = func(s *Shard, n int) {
+		if n == 0 {
+			return
+		}
+		dst := 1 - s.Index
+		s.Send(s.Eng.Now()+r.Lookahead(), dst, func() { hop(r.Shard(dst), n-1) })
+	}
+	r.Shard(0).Eng.At(0, func() { hop(r.Shard(0), hops) })
+
+	if st := r.Run(); st != Quiescent {
+		t.Fatalf("Run = %v, want %v", st, Quiescent)
+	}
+	if r.Merged() != hops {
+		t.Fatalf("Merged = %d, want %d", r.Merged(), hops)
+	}
+	if got := r.Events(); got != hops+1 {
+		t.Fatalf("Events = %d, want %d", got, hops+1)
+	}
+	// The last hop fires at hops * lookahead.
+	if r.Now() < sim.Time(hops*10) {
+		t.Fatalf("Now = %v, want >= %v", r.Now(), sim.Time(hops*10))
+	}
+	for i := 0; i < r.NumShards(); i++ {
+		if p := r.Shard(i).Eng.Pending(); p != 0 {
+			t.Fatalf("shard %d Pending = %d after quiescence", i, p)
+		}
+	}
+}
+
+// A model-initiated Stop pauses the runner mid-window; the window is
+// completed on resume, so the final trace — and its fingerprint — is
+// identical to an uninterrupted run firing the same events.
+func TestRunnerStopResumePreservesFingerprint(t *testing.T) {
+	build := func(stopAt35 bool) *Runner {
+		r := NewRunner(2, 10, 1)
+		var hop func(s *Shard, n int)
+		hop = func(s *Shard, n int) {
+			if n == 0 {
+				return
+			}
+			dst := 1 - s.Index
+			s.Send(s.Eng.Now()+r.Lookahead(), dst, func() { hop(r.Shard(dst), n-1) })
+		}
+		r.Shard(0).Eng.At(0, func() { hop(r.Shard(0), 8) })
+		// Both runners fire an event at (35, same seq); only the stopping
+		// one halts there. The trace records (time, seq), so the pair is
+		// comparable event-for-event.
+		fn := func() {}
+		if stopAt35 {
+			eng := r.Shard(1).Eng
+			fn = eng.Stop
+		}
+		r.Shard(1).Eng.At(35, fn)
+		return r
+	}
+
+	plain := build(false)
+	if st := plain.Run(); st != Quiescent {
+		t.Fatalf("uninterrupted Run = %v, want %v", st, Quiescent)
+	}
+
+	r := build(true)
+	if st := r.Run(); st != Stopped {
+		t.Fatalf("Run = %v, want %v", st, Stopped)
+	}
+	// Sticky: running again without clearing must not lose the Stop.
+	if st := r.Run(); st != Stopped {
+		t.Fatalf("re-Run while stopped = %v, want %v", st, Stopped)
+	}
+	r.ClearStop()
+	if st := r.Run(); st != Quiescent {
+		t.Fatalf("resumed Run = %v, want %v", st, Quiescent)
+	}
+	if r.Fingerprint() != plain.Fingerprint() {
+		t.Fatalf("stop/resume fingerprint %016x differs from uninterrupted %016x",
+			r.Fingerprint(), plain.Fingerprint())
+	}
+	if r.Events() != plain.Events() {
+		t.Fatalf("stop/resume fired %d events, uninterrupted %d", r.Events(), plain.Events())
+	}
+}
+
+// MaxQuanta is the livelock guard: hitting it stops every engine with
+// the sticky flag, so a follow-up Run cannot silently spin again.
+func TestRunnerMaxQuantaExhausts(t *testing.T) {
+	r := NewRunner(2, 10, 1)
+	a := r.Shard(0)
+	remaining := 10
+	var tick func()
+	tick = func() {
+		remaining--
+		if remaining > 0 {
+			a.Eng.After(20, tick)
+		}
+	}
+	a.Eng.At(0, tick)
+
+	r.MaxQuanta = 2
+	if st := r.Run(); st != Exhausted {
+		t.Fatalf("Run = %v, want %v", st, Exhausted)
+	}
+	if remaining != 8 {
+		t.Fatalf("remaining = %d after 2 quanta, want 8", remaining)
+	}
+	if st := r.Run(); st != Stopped {
+		t.Fatalf("Run after Exhausted = %v, want %v (sticky Stop)", st, Stopped)
+	}
+	r.ClearStop()
+	r.MaxQuanta = 0
+	if st := r.Run(); st != Quiescent {
+		t.Fatalf("unbounded Run = %v, want %v", st, Quiescent)
+	}
+	if remaining != 0 {
+		t.Fatalf("remaining = %d, want 0", remaining)
+	}
+}
+
+func TestSendCausalityPanics(t *testing.T) {
+	r := NewRunner(2, 10, 1)
+	s := r.Shard(0)
+	mustPanic(t, "sub-lookahead send", func() { s.Send(s.Eng.Now()+5, 1, func() {}) })
+	mustPanic(t, "unknown destination", func() { s.Send(s.Eng.Now()+10, 7, func() {}) })
+	mustPanic(t, "zero lookahead runner", func() { NewRunner(2, 0, 1) })
+	mustPanic(t, "empty runner", func() { NewRunner(0, 10, 1) })
+}
+
+func TestStatusString(t *testing.T) {
+	for st, want := range map[Status]string{Quiescent: "quiescent", Stopped: "stopped", Exhausted: "exhausted", Status(9): "Status(9)"} {
+		if st.String() != want {
+			t.Fatalf("Status(%d).String() = %q, want %q", int(st), st.String(), want)
+		}
+	}
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}

@@ -12,6 +12,7 @@ type Event struct {
 	t        Time
 	seq      uint64
 	fn       func()
+	eng      *Engine
 	canceled bool
 	fired    bool
 	idx      int // position in the heap, -1 once popped
@@ -22,13 +23,20 @@ func (e *Event) Time() Time { return e.t }
 
 // Cancel prevents the event from firing. Canceling an already-fired or
 // already-canceled event is a no-op. Cancel reports whether the event was
-// still pending.
+// still pending. The canceled event stays in the heap as a tombstone
+// (lazy deletion); the engine's live-event accounting and tombstone
+// reaping keep Pending and heap size honest regardless.
 func (e *Event) Cancel() bool {
 	if e == nil || e.fired || e.canceled {
 		return false
 	}
 	e.canceled = true
 	e.fn = nil
+	if e.eng != nil {
+		e.eng.live--
+		e.eng.tomb++
+		e.eng.maybeReap()
+	}
 	return true
 }
 
@@ -71,12 +79,15 @@ func (h *eventHeap) Pop() any {
 // the determinism contract in DESIGN.md).
 //
 // Engine is not safe for concurrent use; all model code must run on the
-// goroutine driving Run/Step.
+// goroutine driving Run/Step. Multi-engine harnesses (internal/shard)
+// confine each engine to one worker per synchronization quantum.
 type Engine struct {
 	now     Time
 	seq     uint64
 	heap    eventHeap
 	fired   uint64
+	live    int // scheduled, uncanceled, unfired events in the heap
+	tomb    int // canceled tombstones still occupying heap slots
 	stopped bool
 	trace   func(at Time, seq uint64)
 }
@@ -127,9 +138,41 @@ func (e *Engine) Now() Time { return e.now }
 // Fired returns the number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending returns the number of events still scheduled (including
-// canceled events not yet reaped).
-func (e *Engine) Pending() int { return len(e.heap) }
+// Pending returns the number of live events still scheduled. Canceled
+// tombstones awaiting lazy deletion are not counted, so Pending() == 0
+// means the engine truly has no work — the quiescence test multi-engine
+// barriers rely on ("this shard is idle").
+func (e *Engine) Pending() int { return e.live }
+
+// reapFloor is the heap size below which tombstone reaping is not worth
+// the heapify; lazy deletion handles small heaps fine.
+const reapFloor = 64
+
+// maybeReap compacts the heap when canceled tombstones outnumber live
+// events and the heap is large enough to matter. Compaction preserves
+// each surviving event's (time, seq) key, so the pop order — and with
+// it every trace fingerprint — is unchanged.
+func (e *Engine) maybeReap() {
+	if e.tomb <= e.live || len(e.heap) < reapFloor {
+		return
+	}
+	kept := e.heap[:0]
+	for _, ev := range e.heap {
+		if ev.canceled {
+			ev.idx = -1
+			continue
+		}
+		ev.idx = len(kept)
+		kept = append(kept, ev)
+	}
+	// Zero the tail so dropped tombstones don't pin their callbacks.
+	for i := len(kept); i < len(e.heap); i++ {
+		e.heap[i] = nil
+	}
+	e.heap = kept
+	e.tomb = 0
+	heap.Init(&e.heap)
+}
 
 // At schedules fn to run at absolute time t. Scheduling in the past
 // panics: it would silently reorder causality.
@@ -137,8 +180,9 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now)) //simlint:allow no-library-panic causality assertion: scheduling into the past is a model bug
 	}
-	ev := &Event{t: t, seq: e.seq, fn: fn}
+	ev := &Event{t: t, seq: e.seq, fn: fn, eng: e}
 	e.seq++
+	e.live++
 	heap.Push(&e.heap, ev)
 	return ev
 }
@@ -175,21 +219,38 @@ func (e *Engine) After(d Time, fn func()) *Event {
 
 // Stop makes the current Run/RunUntil return after the in-flight event
 // completes. Pending events remain scheduled.
+//
+// Stop is sticky: the flag stays set until ClearStop is called, so a
+// Stop issued between runs (e.g. by a barrier controller between
+// synchronization quanta) makes the next Run/RunUntil return
+// immediately instead of being silently lost. Resuming therefore takes
+// an explicit ClearStop followed by Run/RunUntil.
 func (e *Engine) Stop() { e.stopped = true }
+
+// ClearStop re-arms the engine after a Stop. It is the only way the
+// stopped flag is cleared; Run and RunUntil never reset it themselves.
+func (e *Engine) ClearStop() { e.stopped = false }
+
+// Stopped reports whether Stop has been called without a matching
+// ClearStop. While true, Run and RunUntil return without firing events.
+func (e *Engine) Stopped() bool { return e.stopped }
 
 // Step executes the single next event, advancing the clock to its
 // timestamp. It reports whether an event was executed (false when the
-// queue is empty).
+// queue is empty). Step ignores the stopped flag; it fires exactly one
+// event regardless.
 func (e *Engine) Step() bool {
 	for len(e.heap) > 0 {
 		ev := heap.Pop(&e.heap).(*Event)
 		if ev.canceled {
+			e.tomb--
 			continue
 		}
 		e.now = ev.t
 		ev.fired = true
 		fn := ev.fn
 		ev.fn = nil
+		e.live--
 		e.fired++
 		if e.trace != nil {
 			e.trace(ev.t, ev.seq)
@@ -200,26 +261,30 @@ func (e *Engine) Step() bool {
 	return false
 }
 
-// Run executes events until the queue is empty or Stop is called.
+// Run executes events until the queue is empty or Stop is called. If the
+// engine is already stopped (a sticky Stop not yet cleared), Run returns
+// immediately without firing anything.
 func (e *Engine) Run() {
-	e.stopped = false
 	for !e.stopped && e.Step() {
 	}
 }
 
-// RunUntil executes events with timestamps <= t, then advances the clock
-// to t (even if the queue drained earlier).
+// RunUntil executes events with timestamps <= t. When the loop drains
+// normally the clock then advances to t (even if the queue emptied
+// earlier); when a Stop fires mid-run the clock stays at the last fired
+// event, so unprocessed events are never left stranded behind the clock
+// and a later resume continues exactly where the run halted.
 func (e *Engine) RunUntil(t Time) {
-	e.stopped = false
 	for !e.stopped {
 		next := e.peek()
 		if next == nil || next.t > t {
-			break
+			// Drained normally: the window is fully processed.
+			if e.now < t {
+				e.now = t
+			}
+			return
 		}
 		e.Step()
-	}
-	if e.now < t {
-		e.now = t
 	}
 }
 
@@ -229,6 +294,7 @@ func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
 func (e *Engine) peek() *Event {
 	for len(e.heap) > 0 && e.heap[0].canceled {
 		heap.Pop(&e.heap)
+		e.tomb--
 	}
 	if len(e.heap) == 0 {
 		return nil

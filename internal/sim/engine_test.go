@@ -119,9 +119,182 @@ func TestEngineStop(t *testing.T) {
 	if count != 3 {
 		t.Fatalf("count = %d, want 3", count)
 	}
+	// Stop is sticky: without ClearStop the resume attempt is a no-op.
+	e.Run()
+	if count != 3 {
+		t.Fatalf("run while stopped fired events: count = %d, want 3", count)
+	}
+	e.ClearStop()
 	e.Run() // resume
 	if count != 10 {
 		t.Fatalf("after resume count = %d, want 10", count)
+	}
+}
+
+// A Stop issued before Run/RunUntil (e.g. by a barrier controller
+// between quanta) must not be silently lost.
+func TestEngineStopStickyBeforeRun(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.At(5, func() { fired = true })
+	e.Stop()
+	if !e.Stopped() {
+		t.Fatal("Stopped() = false after Stop")
+	}
+	e.Run()
+	e.RunUntil(10)
+	if fired {
+		t.Fatal("stopped engine fired an event")
+	}
+	if e.Now() != 0 {
+		t.Fatalf("stopped engine moved its clock to %v", e.Now())
+	}
+	e.ClearStop()
+	e.RunUntil(10)
+	if !fired || e.Now() != 10 {
+		t.Fatalf("after ClearStop: fired=%v now=%v, want true 10", fired, e.Now())
+	}
+}
+
+// A Stop that fires mid-RunUntil must leave the clock at the last fired
+// event, not teleport it to the target time past unprocessed events.
+func TestEngineRunUntilStopKeepsClock(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		e.At(at, func() {
+			fired = append(fired, at)
+			if at == 10 {
+				e.Stop()
+			}
+		})
+	}
+	e.RunUntil(30)
+	if len(fired) != 2 || e.Now() != 10 {
+		t.Fatalf("after stopped RunUntil: fired=%v now=%v, want [5 10] 10", fired, e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2 (events at 15, 20 still live)", e.Pending())
+	}
+	e.ClearStop()
+	e.RunUntil(30)
+	if len(fired) != 4 || e.Now() != 30 {
+		t.Fatalf("after resume: fired=%v now=%v, want 4 events and clock 30", fired, e.Now())
+	}
+}
+
+// Pending counts live events only; canceled tombstones are excluded and
+// eventually reaped so the heap cannot grow without bound.
+func TestEnginePendingExcludesCanceled(t *testing.T) {
+	e := NewEngine()
+	keep := e.At(100, func() {})
+	var canceled []*Event
+	for i := 0; i < 1000; i++ {
+		canceled = append(canceled, e.At(Time(i+1), func() {}))
+	}
+	if e.Pending() != 1001 {
+		t.Fatalf("pending = %d, want 1001", e.Pending())
+	}
+	for _, ev := range canceled {
+		ev.Cancel()
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d after cancels, want 1", e.Pending())
+	}
+	// Tombstones dominate (1000 canceled vs 1 live): reaping must have
+	// compacted the heap rather than leaving lazy deletion to Run.
+	if len(e.heap) > reapFloor {
+		t.Fatalf("heap holds %d entries after cancels, want <= %d (reaped)", len(e.heap), reapFloor)
+	}
+	if !keep.Pending() {
+		t.Fatal("live event lost by reaping")
+	}
+	e.Run()
+	if e.Pending() != 0 || e.Now() != 100 {
+		t.Fatalf("after run: pending=%d now=%v, want 0 100", e.Pending(), e.Now())
+	}
+}
+
+// Reaping must not disturb pop order: interleave schedules and cancels
+// so compaction happens mid-stream, then check the survivors fire in
+// (time, seq) order with the same trace as an unreaped twin.
+func TestEngineReapPreservesOrder(t *testing.T) {
+	run := func(forceReap bool) (order []Time, trace uint64) {
+		e := NewEngine()
+		th := NewTraceHash()
+		e.SetTrace(th.Observe)
+		for i := 0; i < 500; i++ {
+			at := Time((i * 37) % 251)
+			e.At(at, func() { order = append(order, at) })
+			if i%2 == 0 {
+				e.At(at+1, func() {}).Cancel()
+			}
+		}
+		if forceReap {
+			// Cancel a burst so tombstones outnumber live events.
+			var evs []*Event
+			for i := 0; i < 2000; i++ {
+				evs = append(evs, e.At(Time(i), func() {}))
+			}
+			for _, ev := range evs {
+				ev.Cancel()
+			}
+		}
+		e.Run()
+		return order, th.Sum()
+	}
+	gotOrder, gotTrace := run(true)
+	wantOrder, wantTrace := run(false)
+	if gotTrace != wantTrace {
+		t.Fatalf("trace diverged under reaping: %x vs %x", gotTrace, wantTrace)
+	}
+	if len(gotOrder) != len(wantOrder) {
+		t.Fatalf("fired %d events, want %d", len(gotOrder), len(wantOrder))
+	}
+	for i := range gotOrder {
+		if gotOrder[i] != wantOrder[i] {
+			t.Fatalf("order[%d] = %v, want %v", i, gotOrder[i], wantOrder[i])
+		}
+	}
+}
+
+// Cancel and Reschedule invoked from inside a firing callback: the
+// in-flight event has been popped (idx == -1) and marked fired, so both
+// must refuse it, while other pending events stay fully mutable.
+func TestEngineCancelRescheduleFromCallback(t *testing.T) {
+	e := NewEngine()
+	var self, other *Event
+	otherRan := false
+	movedRan := Time(0)
+	moved := e.At(30, func() { movedRan = e.Now() })
+	other = e.At(40, func() { otherRan = true })
+	self = e.At(10, func() {
+		if self.Cancel() {
+			t.Error("Cancel succeeded on the firing event")
+		}
+		if e.Reschedule(self, 50) {
+			t.Error("Reschedule succeeded on the firing event")
+		}
+		if !other.Cancel() {
+			t.Error("Cancel failed on a pending event")
+		}
+		if !e.Reschedule(moved, 60) {
+			t.Error("Reschedule failed on a pending event")
+		}
+		if e.Pending() != 1 {
+			t.Errorf("pending = %d inside callback, want 1 (moved)", e.Pending())
+		}
+	})
+	e.Run()
+	if otherRan {
+		t.Fatal("canceled event fired")
+	}
+	if movedRan != 60 {
+		t.Fatalf("rescheduled event fired at %v, want 60", movedRan)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after run, want 0", e.Pending())
 	}
 }
 

@@ -37,15 +37,15 @@ stage_test() {
 	go test -shuffle=on ./...
 	# Determinism double-run: the event-trace regression tests compare
 	# two in-process runs already; -count=2 additionally reruns each
-	# comparison in a fresh map-randomization schedule. The sweep
-	# runner's serial-vs-parallel double-run rides the same gate.
-	go test -count=2 -run 'Deterministic' ./internal/netsim/ ./internal/chaos/ ./internal/sweep/ ./internal/benchsuite/ ./internal/integrity/
+	# comparison in a fresh map-randomization schedule. The sweep and
+	# shard runners' serial-vs-parallel double-runs ride the same gate.
+	go test -count=2 -run 'Deterministic' ./internal/netsim/ ./internal/chaos/ ./internal/sweep/ ./internal/benchsuite/ ./internal/integrity/ ./internal/shard/
 	set +x
 }
 
 stage_race() {
 	set -x
-	go test -race ./internal/chaos/... ./internal/failure/... ./internal/sim/... ./internal/netsim/... ./internal/spantrace/... ./internal/sweep/... ./internal/integrity/...
+	go test -race ./internal/chaos/... ./internal/failure/... ./internal/sim/... ./internal/netsim/... ./internal/spantrace/... ./internal/sweep/... ./internal/integrity/... ./internal/shard/...
 	set +x
 }
 
