@@ -112,10 +112,14 @@ var checkNoGlobalRand = &Check{
 // runs diverge. Inside the engine-adjacent packages (sim, netsim,
 // chaos) every map range is flagged; elsewhere a map range is flagged
 // when its enclosing function schedules engine events or writes
-// report/trace output, directly or one call hop away.
+// report/trace output — directly, any number of call hops away through
+// the module call graph, or through a function/method value it hands
+// off as a callback. The diagnostic spells out the whole hazard path
+// (f → g → h → sim.Engine.At) so the reader does not have to rebuild
+// the chain by hand.
 var checkOrderedMapRange = &Check{
 	Name: "ordered-map-range",
-	Doc:  "no map iteration in engine packages or near event-scheduling/report-writing code",
+	Doc:  "no map iteration in engine packages or near event-scheduling/report-writing code (transitive)",
 	run: func(m *Module, p *Package) []Diagnostic {
 		if p.Info == nil {
 			return nil
@@ -134,7 +138,11 @@ var checkOrderedMapRange = &Check{
 				if core {
 					reason, hazardous = "inside an engine-adjacent package", true
 				} else {
-					reason, hazardous = fs.hazard(obj)
+					var path string
+					reason, path, hazardous = fs.hazard(obj)
+					if hazardous {
+						reason += " (path: " + path + ")"
+					}
 				}
 				if !hazardous {
 					continue

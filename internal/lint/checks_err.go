@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// checkDroppedError statically enforces the PR 1 "counted error paths"
+// contract: simulation code converted its panic paths into returned
+// errors precisely so that failures are counted, injectable, and
+// recoverable — a call site that throws the error away un-counts it
+// again. A bare statement call (plain, go, or defer) to a module-local
+// function returning error is flagged. The explicit discard `_ = f()`
+// stays legal: it is greppable, visibly deliberate, and the reviewable
+// equivalent of an inline annotation.
+var checkDroppedError = &Check{
+	Name: "dropped-error",
+	Doc:  "module-local calls returning error must not be discarded in internal/ sim packages",
+	run: func(m *Module, p *Package) []Diagnostic {
+		if p.Info == nil || !simScoped(m, p) {
+			return nil
+		}
+		var diags []Diagnostic
+		flag := func(call *ast.CallExpr, how string) {
+			fn := calleeOf(p.Info, call.Fun)
+			if fn == nil || fn.Pkg() == nil || !modulePathMember(m.Path, fn.Pkg().Path()) {
+				return
+			}
+			if !returnsError(fn) {
+				return
+			}
+			diags = append(diags, Diagnostic{
+				Check: "dropped-error",
+				Pos:   m.Fset.Position(call.Pos()),
+				Message: fmt.Sprintf(
+					"%s discards the error from %s; handle it, count it, or discard explicitly with _ =", how, fn.Name()),
+			})
+		}
+		for _, file := range p.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := st.X.(*ast.CallExpr); ok {
+						flag(call, "statement call")
+					}
+				case *ast.GoStmt:
+					flag(st.Call, "go statement")
+				case *ast.DeferStmt:
+					flag(st.Call, "defer statement")
+				}
+				return true
+			})
+		}
+		return diags
+	},
+}
+
+// returnsError reports whether any of fn's results is the built-in
+// error type.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), errType) {
+			return true
+		}
+	}
+	return false
+}

@@ -3,27 +3,56 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
-// facts records, for every function declaration analyzed so far, whether
-// it directly schedules engine events or writes report/trace output, and
-// which module-local functions it calls. ordered-map-range combines the
-// two for its one-hop transitive hazard test.
+// sinkInfo describes one hazardous sink: why touching it freezes input
+// order, and a printable name for hazard-path diagnostics.
+type sinkInfo struct {
+	reason string // e.g. "schedules engine events"
+	sink   string // e.g. "sim.Engine.At"
+}
+
+// facts is the module's whole-program hazard database: for every
+// function declaration analyzed so far, whether it directly touches a
+// determinism sink (schedules engine events, writes report/trace
+// output), and every module-local function it calls *or references* —
+// a method value or func value handed off as a callback counts as a
+// call edge, because whoever receives it may invoke it. ordered-map-range
+// runs a fixpoint reachability query over this graph, so a hazard any
+// number of call hops from the sink is still found, with the full path.
 type facts struct {
 	modpath string
-	direct  map[*types.Func]string        // func -> reason it is hazardous
-	calls   map[*types.Func][]*types.Func // module-local callees, AST order
+	direct  map[*types.Func]sinkInfo       // func -> the sink it touches directly
+	calls   map[*types.Func][]*types.Func  // module-local callees/references, AST order
+	memo    map[*types.Func]*hazardSummary // fixpoint cache, nil entry = proven safe
+}
+
+// hazardSummary is the memoized result of a reachability query.
+type hazardSummary struct {
+	reason string
+	path   []*types.Func // fn ... direct-sink-toucher, inclusive
+	sink   string
 }
 
 // moduleFacts lazily builds facts over every module package.
 func (m *Module) moduleFacts() *facts {
 	if m.facts == nil {
-		m.facts = &facts{modpath: m.Path, direct: map[*types.Func]string{}, calls: map[*types.Func][]*types.Func{}}
+		m.facts = newFacts(m.Path)
 		for _, p := range m.Pkgs {
 			m.facts.addPackage(p)
 		}
 	}
 	return m.facts
+}
+
+func newFacts(modpath string) *facts {
+	return &facts{
+		modpath: modpath,
+		direct:  map[*types.Func]sinkInfo{},
+		calls:   map[*types.Func][]*types.Func{},
+		memo:    map[*types.Func]*hazardSummary{},
+	}
 }
 
 // factsWith returns module facts extended with p (used for fixture
@@ -35,7 +64,7 @@ func (m *Module) factsWith(p *Package) *facts {
 			return base
 		}
 	}
-	ext := &facts{modpath: base.modpath, direct: map[*types.Func]string{}, calls: map[*types.Func][]*types.Func{}}
+	ext := newFacts(base.modpath)
 	for k, v := range base.direct {
 		ext.direct[k] = v
 	}
@@ -62,19 +91,22 @@ func (f *facts) addPackage(p *Package) {
 			}
 			// Everything lexically inside the declaration counts as
 			// the declaration, closures included: a callback built
-			// here fires on behalf of this function.
+			// here fires on behalf of this function. Walking every
+			// identifier (rather than only call expressions) is what
+			// makes handed-off callbacks visible: `pool.Each(t.emit)`
+			// records an edge to emit exactly as `t.emit()` would.
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
+				id, ok := n.(*ast.Ident)
 				if !ok {
 					return true
 				}
-				callee := calleeOf(p.Info, call)
-				if callee == nil {
+				callee, ok := p.Info.Uses[id].(*types.Func)
+				if !ok {
 					return true
 				}
-				if reason, hazardous := markerCall(f.modpath, callee); hazardous {
+				if si, hazardous := markerCall(f.modpath, callee); hazardous {
 					if _, seen := f.direct[obj]; !seen {
-						f.direct[obj] = reason
+						f.direct[obj] = si
 					}
 					return true
 				}
@@ -87,27 +119,85 @@ func (f *facts) addPackage(p *Package) {
 	}
 }
 
-// hazard reports whether fn directly schedules/writes, or does so one
-// call hop away through a module-local callee.
-func (f *facts) hazard(fn *types.Func) (string, bool) {
-	if fn == nil {
-		return "", false
+// hazard reports whether fn touches a determinism sink anywhere in its
+// transitive call graph. The returned reason names the sink class; the
+// path spells out the whole chain for the diagnostic, e.g.
+//
+//	flush → emit → record → sim.Engine.At
+//
+// Resolution is a breadth-first search over the call/reference graph,
+// so the reported path is a shortest one, and edge order (AST order,
+// packages sorted by import path) makes it deterministic.
+func (f *facts) hazard(fn *types.Func) (reason, path string, ok bool) {
+	sum := f.reach(fn)
+	if sum == nil {
+		return "", "", false
 	}
-	if reason, ok := f.direct[fn]; ok {
-		return reason, true
-	}
-	for _, callee := range f.calls[fn] {
-		if reason, ok := f.direct[callee]; ok {
-			return reason + " (via " + callee.Name() + ")", true
+	var b strings.Builder
+	for i, hop := range sum.path {
+		if i > 0 {
+			b.WriteString(" → ")
 		}
+		b.WriteString(hop.Name())
 	}
-	return "", false
+	b.WriteString(" → ")
+	b.WriteString(sum.sink)
+	return sum.reason, b.String(), true
 }
 
-// calleeOf statically resolves the function object a call invokes, or
-// nil for dynamic calls (function values, interface methods).
-func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
-	switch fun := ast.Unparen(call.Fun).(type) {
+// reach runs the memoized BFS behind hazard.
+func (f *facts) reach(fn *types.Func) *hazardSummary {
+	if fn == nil {
+		return nil
+	}
+	if sum, seen := f.memo[fn]; seen {
+		return sum
+	}
+	type node struct {
+		fn   *types.Func
+		prev int // index of predecessor in visit order, -1 for the root
+	}
+	visit := []node{{fn: fn, prev: -1}}
+	seen := map[*types.Func]bool{fn: true}
+	found := -1
+	for i := 0; i < len(visit) && found < 0; i++ {
+		cur := visit[i]
+		if _, direct := f.direct[cur.fn]; direct {
+			found = i
+			break
+		}
+		for _, callee := range f.calls[cur.fn] {
+			if seen[callee] {
+				continue
+			}
+			seen[callee] = true
+			visit = append(visit, node{fn: callee, prev: i})
+		}
+	}
+	var sum *hazardSummary
+	if found >= 0 {
+		si := f.direct[visit[found].fn]
+		var rev []*types.Func
+		for i := found; i >= 0; i = visit[i].prev {
+			rev = append(rev, visit[i].fn)
+		}
+		path := make([]*types.Func, len(rev))
+		for i, hop := range rev {
+			path[len(rev)-1-i] = hop
+		}
+		sum = &hazardSummary{reason: si.reason, path: path, sink: si.sink}
+	}
+	f.memo[fn] = sum
+	return sum
+}
+
+// calleeOf statically resolves the function object an expression
+// denotes: the callee of a call, or a method value / func value used as
+// a callback argument. It returns nil for expressions that are not
+// statically a single function (interface method values through a nil
+// selection, computed function values).
+func calleeOf(info *types.Info, expr ast.Expr) *types.Func {
+	switch fun := ast.Unparen(expr).(type) {
 	case *ast.Ident:
 		if f, ok := info.Uses[fun].(*types.Func); ok {
 			return f
@@ -124,52 +214,59 @@ func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
 // writing. These are the sinks whose input order the determinism
 // contract freezes: the sim.Engine scheduling API, the trace package,
 // and the stream/report encoders library code emits artifacts through.
-func markerCall(modpath string, callee *types.Func) (string, bool) {
+func markerCall(modpath string, callee *types.Func) (sinkInfo, bool) {
 	pkg := callee.Pkg()
 	if pkg == nil {
-		return "", false
+		return sinkInfo{}, false
 	}
 	recv := recvTypeName(callee)
+	mark := func(reason string) (sinkInfo, bool) {
+		name := pkg.Name() + "."
+		if recv != "" {
+			name += recv + "."
+		}
+		return sinkInfo{reason: reason, sink: name + callee.Name()}, true
+	}
 	switch pkg.Path() {
 	case modpath + "/internal/sim":
 		if recv == "Engine" {
 			switch callee.Name() {
 			case "At", "After", "Reschedule":
-				return "schedules engine events", true
+				return mark("schedules engine events")
 			}
 		}
 	case modpath + "/internal/trace":
-		return "writes trace output", true
+		return mark("writes trace output")
 	case modpath + "/internal/spantrace":
-		return "records span-trace output", true
+		return mark("records span-trace output")
 	case modpath + "/internal/sweep":
-		return "records sweep results", true
+		return mark("records sweep results")
 	case modpath + "/internal/integrity":
-		return "drives the integrity scrub plane", true
+		return mark("drives the integrity scrub plane")
 	case modpath + "/internal/shard":
-		return "delivers cross-shard events", true
+		return mark("delivers cross-shard events")
 	case "fmt":
 		switch callee.Name() {
 		case "Fprint", "Fprintf", "Fprintln":
-			return "writes report output", true
+			return mark("writes report output")
 		}
 	case "encoding/json":
 		if recv == "Encoder" && callee.Name() == "Encode" {
-			return "writes report output", true
+			return mark("writes report output")
 		}
 		switch callee.Name() {
 		case "Marshal", "MarshalIndent":
-			return "writes report output", true
+			return mark("writes report output")
 		}
 	case "encoding/csv":
 		if recv == "Writer" {
 			switch callee.Name() {
 			case "Write", "WriteAll":
-				return "writes report output", true
+				return mark("writes report output")
 			}
 		}
 	}
-	return "", false
+	return sinkInfo{}, false
 }
 
 // recvTypeName returns the name of the receiver's named type (through

@@ -3,9 +3,19 @@
 // nothing but the standard library (go/parser, go/types, go/importer)
 // and enforces the invariants behind the reproduction contract in
 // DESIGN.md: simulated time only, seeded randomness only, no map
-// iteration feeding event scheduling or report output, no panics in
-// library code, stdlib-only imports, and hermetic (env-free)
-// simulation packages.
+// iteration feeding event scheduling or report output (enforced
+// transitively over a whole-program call graph that follows callbacks
+// handed off as function/method values, with diagnostics spelling the
+// full hazard path), no panics in library code, stdlib-only imports,
+// hermetic (env-free) simulation packages, shard-isolation for the
+// parallel worker pools, no unsynced captured writes in goroutines,
+// and no dropped module-local errors.
+//
+// The escape-hatch directives themselves are managed debt: Debt
+// inventories every //simlint:allow site, verifies it still suppresses
+// something and carries a reason, and GateDebt pins the totals against
+// a committed baseline (.simlint-baseline.json, enforced by verify.sh
+// and CI via simlint -debt).
 //
 // Each invariant is a named Check producing file:line:col diagnostics.
 // A site that is provably order-insensitive or intentionally excepted
@@ -59,6 +69,9 @@ func Checks() []*Check {
 		checkNoLibraryPanic,
 		checkStdlibOnlyImports,
 		checkEnvFreeSim,
+		checkShardIsolation,
+		checkUnsyncedSharedWrite,
+		checkDroppedError,
 	}
 }
 
@@ -132,21 +145,33 @@ const allowPrefix = "//simlint:allow"
 
 // parseAllow extracts check names from one comment's raw text, or nil.
 func parseAllow(text string) []string {
+	names, _, _ := parseAllowDirective(text)
+	return names
+}
+
+// parseAllowDirective splits one comment's raw text into the directive's
+// check names and free-text reason. ok is false for non-directives and
+// for the inert no-name form.
+func parseAllowDirective(text string) (names []string, reason string, ok bool) {
 	if !strings.HasPrefix(text, allowPrefix) {
-		return nil
+		return nil, "", false
 	}
 	rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
 	fields := strings.Fields(rest)
 	if len(fields) == 0 {
-		return nil
+		return nil, "", false
 	}
-	var names []string
-	for _, n := range strings.Split(fields[0], ",") {
+	first := fields[0]
+	rem := strings.TrimPrefix(rest, first)
+	for _, n := range strings.Split(first, ",") {
 		if n != "" {
 			names = append(names, n)
 		}
 	}
-	return names
+	if len(names) == 0 {
+		return nil, "", false
+	}
+	return names, strings.TrimSpace(rem), true
 }
 
 func collectAllows(fset *token.FileSet, files []*ast.File) allowDirectives {

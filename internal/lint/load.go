@@ -51,7 +51,6 @@ type Module struct {
 // whatever typechecked.
 func LoadModule(root string) (*Module, error) {
 	modfile := filepath.Join(root, "go.mod")
-	//simlint:allow env-free-sim the analyzer must read the tree it checks
 	data, err := os.ReadFile(modfile)
 	if err != nil {
 		return nil, fmt.Errorf("lint: reading %s: %w", modfile, err)
@@ -121,7 +120,6 @@ func modulePath(gomod string) string {
 // files, skipping testdata and hidden/underscore directories — the
 // same exclusions the go tool applies.
 func collectDirs(dir string, out *[]string) error {
-	//simlint:allow env-free-sim the analyzer must read the tree it checks
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return err
@@ -195,7 +193,6 @@ func (m *Module) load(ip string) (*Package, error) {
 
 	rel := strings.TrimPrefix(strings.TrimPrefix(ip, m.Path), "/")
 	dir := filepath.Join(m.Root, filepath.FromSlash(rel))
-	//simlint:allow env-free-sim the analyzer must read the tree it checks
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("lint: %s: %w", ip, err)

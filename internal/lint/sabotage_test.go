@@ -1,6 +1,8 @@
 package lint
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -85,6 +87,147 @@ func TestSabotageMapRangeScheduling(t *testing.T) {
 	}
 	if diags := m.RunPackage(fixed, Checks()); len(diags) != 0 {
 		t.Fatalf("ordered rewrite should be clean, got %v", diags)
+	}
+}
+
+// TestSabotageTransitivePath is the whole-program upgrade's sharpest
+// regression: a map range three calls from the scheduler, with the
+// diagnostic spelling the full chain. The one-hop analyzer this
+// replaced was provably blind here.
+func TestSabotageTransitivePath(t *testing.T) {
+	m := loadRepo(t)
+	pkg, err := m.TypecheckSource("spiderfs/internal/sabotage", map[string]string{
+		"deep.go": `package sabotage
+
+import "spiderfs/internal/sim"
+
+type entry struct{ at sim.Time }
+
+func arm(eng *sim.Engine, e entry)   { eng.At(e.at, func() {}) }
+func relay(eng *sim.Engine, e entry) { arm(eng, e) }
+func stage(eng *sim.Engine, e entry) { relay(eng, e) }
+
+func drain(eng *sim.Engine, pending map[string]sim.Time) {
+	for _, at := range pending {
+		stage(eng, entry{at: at})
+	}
+}
+`,
+	})
+	if err != nil {
+		t.Fatalf("TypecheckSource: %v", err)
+	}
+	diags := m.RunPackage(pkg, []*Check{checkOrderedMapRange})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics %v, want exactly 1", len(diags), diags)
+	}
+	msg := diags[0].Message
+	for _, want := range []string{"schedules engine events", "drain → stage → relay → arm → sim.Engine.At"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("diagnostic %q missing %q", msg, want)
+		}
+	}
+}
+
+// TestSabotageCallbackHandOff pins the calleeOf fix: a hazardous method
+// handed off as a method value (never called directly) still taints the
+// handing function.
+func TestSabotageCallbackHandOff(t *testing.T) {
+	m := loadRepo(t)
+	pkg, err := m.TypecheckSource("spiderfs/internal/sabotage", map[string]string{
+		"handoff.go": `package sabotage
+
+import "spiderfs/internal/sim"
+
+type trig struct{ eng *sim.Engine }
+
+func (t *trig) fire(at sim.Time) { t.eng.At(at, func() {}) }
+
+func each(ats []sim.Time, f func(sim.Time)) {
+	for _, at := range ats {
+		f(at)
+	}
+}
+
+func (t *trig) flush(pending map[string]sim.Time) {
+	for _, at := range pending {
+		each([]sim.Time{at}, t.fire)
+	}
+}
+`,
+	})
+	if err != nil {
+		t.Fatalf("TypecheckSource: %v", err)
+	}
+	diags := m.RunPackage(pkg, []*Check{checkOrderedMapRange})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics %v, want exactly 1 (the handed-off callback must be an edge)", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "flush → fire → sim.Engine.At") {
+		t.Errorf("diagnostic %q should spell the hand-off path", diags[0].Message)
+	}
+}
+
+// TestSabotageShardIsolation seeds a cross-shard captured write into an
+// in-memory copy of the real internal/shard sources and asserts
+// shard-isolation refuses it — so the Send/outbox seam PR 7 shipped
+// cannot be bypassed silently, even by code living inside the package.
+func TestSabotageShardIsolation(t *testing.T) {
+	m := loadRepo(t)
+	files := map[string]string{}
+	for _, name := range []string{"shard.go", "fabric.go"} {
+		src, err := os.ReadFile(filepath.Join("../shard", name))
+		if err != nil {
+			t.Fatalf("reading real shard source: %v", err)
+		}
+		files[name] = string(src)
+	}
+
+	// The unmodified copy must be clean: the real worker pool writes
+	// nothing captured (engines are shared-nothing during a quantum).
+	clean, err := m.TypecheckSource("spiderfs/internal/shard", files)
+	if err != nil {
+		t.Fatalf("TypecheckSource(clean): %v", err)
+	}
+	if diags := m.RunPackage(clean, []*Check{checkShardIsolation}); len(diags) != 0 {
+		t.Fatalf("pristine internal/shard copy should be clean, got %v", diags)
+	}
+
+	// Sabotage: a per-quantum event tally accumulated straight across
+	// worker goroutines — the exact seam bypass the barrier exists to
+	// prevent.
+	files["sabotage.go"] = `package shard
+
+import "sync"
+
+func (r *Runner) racyEventTally() uint64 {
+	var total uint64
+	var wg sync.WaitGroup
+	for _, s := range r.shards {
+		wg.Add(1)
+		go func(s *Shard) {
+			defer wg.Done()
+			total += s.Eng.Fired()
+		}(s)
+	}
+	wg.Wait()
+	return total
+}
+`
+	sab, err := m.TypecheckSource("spiderfs/internal/shard", files)
+	if err != nil {
+		t.Fatalf("TypecheckSource(sabotage): %v", err)
+	}
+	diags := m.RunPackage(sab, []*Check{checkShardIsolation})
+	if len(diags) != 1 {
+		t.Fatalf("seeded cross-shard write: got %d diagnostics %v, want exactly 1", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Check != "shard-isolation" || d.File != "sabotage.go" {
+		t.Fatalf("diagnostic %v should be shard-isolation in sabotage.go", d)
+	}
+	if !strings.Contains(d.Message, "total") || !strings.Contains(d.Message, "Shard.Send") {
+		t.Errorf("message %q should name the captured target and point at the Send seam", d.Message)
 	}
 }
 

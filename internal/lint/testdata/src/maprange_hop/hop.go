@@ -1,7 +1,7 @@
-// Sabotage fixture for the one-hop hazard rule: outside the engine
+// Sabotage fixture for the transitive hazard rule: outside the engine
 // packages, a map range is flagged when the surrounding function
-// schedules engine events or writes report output — directly, or one
-// statically resolved call away.
+// schedules engine events or writes report output — directly, or any
+// number of statically resolved calls away.
 package maprangehop
 
 import (
@@ -47,10 +47,11 @@ func middle(eng *sim.Engine, j job) {
 	kick(eng, j)
 }
 
-// two hops: range -> middle -> kick -> eng.After. Outside the rule's
-// one-hop horizon by design; not flagged.
+// two hops: range -> middle -> kick -> eng.After. The fixpoint
+// propagation sees through any depth; the diagnostic spells the path
+// scheduleTwoHops → middle → kick → sim.Engine.After.
 func scheduleTwoHops(eng *sim.Engine, jobs map[string]sim.Time) {
-	for name, at := range jobs {
+	for name, at := range jobs { // want ordered-map-range
 		middle(eng, job{name: name, at: at})
 	}
 }

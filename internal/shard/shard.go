@@ -45,7 +45,10 @@ type message struct {
 // outbox of cross-shard sends. Model code attached to a shard must touch
 // only that shard's state from its event callbacks; the runner confines
 // each engine to one worker goroutine per quantum, and the barrier is
-// the only place state crosses shards.
+// the only place state crosses shards. simlint's shard-isolation check
+// enforces the seam statically: a goroutine in this package writing
+// state captured from outside its own slot fails the build before the
+// race detector ever sees it.
 type Shard struct {
 	Index int
 	Eng   *sim.Engine

@@ -177,7 +177,9 @@ func Run(cfg Config, body Body) (*Result, error) {
 
 	// Shared-nothing pool: each worker claims indices from the channel
 	// and writes only its own result slots; the merge below never looks
-	// at completion order.
+	// at completion order. This own-slot shape (out[i] with a
+	// worker-local i) is the one goroutine write simlint's
+	// shard-isolation check sanctions in this package.
 	out := make([]Replica, n)
 	idx := make(chan int)
 	var wg sync.WaitGroup

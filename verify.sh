@@ -4,7 +4,8 @@
 # engine-adjacent packages.
 #
 # Stages (for the CI matrix; default runs everything):
-#   ./verify.sh build   — gofmt gate, build, vet, simlint
+#   ./verify.sh build   — gofmt gate, build, vet
+#   ./verify.sh lint    — simlint invariant suite + suppression-debt gate
 #   ./verify.sh test    — shuffled full test run + determinism double-run
 #   ./verify.sh race    — race-mode runs of the concurrency-adjacent packages
 #   ./verify.sh bench   — one-iteration benchmark smoke
@@ -24,9 +25,19 @@ stage_build() {
 	set -x
 	go build ./...
 	go vet ./...
+	set +x
+}
+
+stage_lint() {
+	set -x
 	# simlint: the determinism & hygiene analyzer suite (DESIGN.md
 	# "Enforced invariants"). Zero diagnostics or the build fails.
 	go run ./cmd/simlint
+	# Suppression-debt gate: every //simlint:allow site must carry a
+	# reason and suppress a real diagnostic, and the totals may not
+	# grow past the committed .simlint-baseline.json. A conscious debt
+	# change re-pins with: go run ./cmd/simlint -debt -update
+	go run ./cmd/simlint -debt
 	set +x
 }
 
@@ -61,17 +72,19 @@ stage_bench() {
 
 case "$stage" in
 build) stage_build ;;
+lint) stage_lint ;;
 test) stage_test ;;
 race) stage_race ;;
 bench) stage_bench ;;
 all)
 	stage_build
+	stage_lint
 	stage_test
 	stage_race
 	stage_bench
 	;;
 *)
-	echo "usage: ./verify.sh [build|test|race|bench|all]" >&2
+	echo "usage: ./verify.sh [build|lint|test|race|bench|all]" >&2
 	exit 2
 	;;
 esac
