@@ -29,6 +29,14 @@
 // the gate requires exactly zero undetected corrupt reads at the
 // default interval).
 //
+// With -serve it runs the session-service benchmark: sessions/sec and
+// p50/p99 session latency on the cold-build, warm-pool, and cache-hit
+// execution paths, with a cold-vs-warm fingerprint cross-check (the
+// checked-in BENCH_serve.json is produced by
+// `go run ./cmd/benchsuite -serve -out BENCH_serve.json`; the gate
+// requires exact fingerprint identity and zero failed sessions, and
+// records — never gates — the speedups).
+//
 // With -check it is the bench-regression gate: each committed
 // BENCH_*.json in -bench-dir is compared against its freshly generated
 // counterpart in -fresh, and any gate finding (see internal/regress)
@@ -54,7 +62,7 @@ import (
 
 // benchArtifacts are the committed bench JSON files the -check gate
 // knows how to compare (via their schema fields).
-var benchArtifacts = []string{"BENCH_netsim.json", "BENCH_spantrace.json", "BENCH_sweep.json", "BENCH_integrity.json"}
+var benchArtifacts = []string{"BENCH_netsim.json", "BENCH_spantrace.json", "BENCH_sweep.json", "BENCH_integrity.json", "BENCH_serve.json"}
 
 func main() {
 	cellSec := flag.Float64("cell", 1.0, "seconds per sweep cell (simulated)")
@@ -63,6 +71,7 @@ func main() {
 	spantraceSuite := flag.Bool("spantrace", false, "run the spantrace observer-cost suite instead of the acquisition sweep")
 	sweepSuite := flag.Bool("sweep", false, "run the seed-sweep suite (E3/E13/E18) instead of the acquisition sweep")
 	integritySuite := flag.Bool("integrity", false, "run the E19 data-integrity sweep (scrub interval vs undetected corruption)")
+	serveSuite := flag.Bool("serve", false, "run the session-service benchmark (cold vs warm-pool vs cache-hit)")
 	workers := flag.Int("workers", 0, "with -sweep, parallel worker count (0 = GOMAXPROCS)")
 	check := flag.Bool("check", false, "regression gate: compare committed BENCH_*.json against -fresh copies")
 	benchDir := flag.String("bench-dir", ".", "with -check, directory holding the committed BENCH_*.json files")
@@ -89,6 +98,10 @@ func main() {
 	}
 	if *integritySuite {
 		runIntegrity(*seed, *workers, *out)
+		return
+	}
+	if *serveSuite {
+		runServe(*out)
 		return
 	}
 
@@ -146,6 +159,29 @@ func runIntegrity(seed uint64, workers int, out string) {
 		os.Exit(1)
 	}
 	fmt.Print(s.Render())
+	if out == "" {
+		return
+	}
+	data, err := s.JSON()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", out)
+}
+
+func runServe(out string) {
+	fmt.Println("== session service (warm-engine pool + result cache, cold vs warm vs cache-hit) ==")
+	s := benchsuite.RunServeSuite(func() int64 { return time.Now().UnixNano() })
+	fmt.Print(s.Render())
+	if s.Errors > 0 || !s.Deterministic {
+		fmt.Fprintln(os.Stderr, "benchsuite: serve suite failed its own determinism check")
+		os.Exit(1)
+	}
 	if out == "" {
 		return
 	}

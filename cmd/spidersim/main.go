@@ -14,9 +14,11 @@
 //	spidersim sweep       — deterministic parallel seed sweeps of E3/E13/E18/E19 with merged CIs
 //	spidersim scrub       — background scrub vs latent-corruption exposure (E19), off vs default
 //	spidersim shard       — sharded parallel fabric run with serial fingerprint cross-check
+//	spidersim session     — one-shot run of a service session spec (the cmd/spidersimd reference)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +38,7 @@ import (
 	"spiderfs/internal/qa"
 	"spiderfs/internal/raid"
 	"spiderfs/internal/rng"
+	"spiderfs/internal/serve"
 	"spiderfs/internal/shard"
 	"spiderfs/internal/sim"
 	"spiderfs/internal/spantrace"
@@ -63,6 +66,7 @@ func main() {
 	exp := fs.String("exp", "all", "sweep: which sweep to run (e3|e13|e18|e19|all)")
 	replicas := fs.Int("replicas", 0, "sweep: override the replica count per sweep")
 	workers := fs.Int("workers", 0, "sweep: parallel worker count (0 = GOMAXPROCS)")
+	spec := fs.String("spec", "", "session: the scenario spec as JSON, e.g. '{\"kind\":\"workload\",\"seed\":7}'")
 	_ = fs.Parse(os.Args[2:])
 
 	switch cmd {
@@ -96,6 +100,8 @@ func main() {
 		runScrub(*seed)
 	case "shard":
 		runShard(*seed, *workers, *full)
+	case "session":
+		runSession(*seed, *spec)
 	case "arch":
 		c := center.New(center.Config{Scale: 1, Namespaces: 2, Seed: *seed})
 		fmt.Print(c.RenderArchitecture())
@@ -109,7 +115,36 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: spidersim <arch|layers|mixed|checkpoint|slowdisk|incident|purge|namespaces|workflow|fig3|fig4|recovery|chaos|spans|sweep|scrub|shard> [-seed N] [-days N] [-full] [-scenario fig3|chaos] [-every N] [-out FILE] [-exp e3|e13|e18|e19|all] [-replicas N] [-workers N]")
+	fmt.Fprintln(os.Stderr, "usage: spidersim <arch|layers|mixed|checkpoint|slowdisk|incident|purge|namespaces|workflow|fig3|fig4|recovery|chaos|spans|sweep|scrub|shard|session> [-seed N] [-days N] [-full] [-scenario fig3|chaos] [-every N] [-out FILE] [-exp e3|e13|e18|e19|all] [-replicas N] [-workers N] [-spec JSON]")
+}
+
+// runSession executes one service session spec solo and prints the
+// exact report bytes the daemon's /report endpoint would serve — the
+// reference side of the spidersimd determinism contract. The sweep
+// catalog is the same one the daemon registers, so "sweep"-kind specs
+// resolve identically. seed feeds only the catalog construction; the
+// model streams come from the spec's own seed.
+func runSession(seed uint64, specJSON string) {
+	if specJSON == "" {
+		fmt.Fprintln(os.Stderr, `session: -spec required, e.g. -spec '{"kind":"workload","seed":7}'`)
+		os.Exit(2)
+	}
+	var spec serve.Spec
+	if err := json.Unmarshal([]byte(specJSON), &spec); err != nil {
+		fmt.Fprintln(os.Stderr, "session: bad -spec:", err)
+		os.Exit(2)
+	}
+	rep, err := serve.RunSolo(spec, benchsuite.ServeCatalog(seed))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "session:", err)
+		os.Exit(1)
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "session:", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(data)
 }
 
 // runSweep fans the standard seed sweeps across a worker pool and

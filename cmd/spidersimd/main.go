@@ -1,0 +1,64 @@
+// Command spidersimd is the multi-tenant simulation service: a
+// stdlib-only net/http daemon serving concurrent scenario sessions from
+// a warm pool of engine/fabric instances, with a fingerprint-keyed
+// result cache and bounded-admission backpressure.
+//
+//	spidersimd -addr :8080 -seed 42 -pool 2 -workers 2 -queue 64 -cache 128
+//
+// Submit a session and follow it:
+//
+//	curl -s -X POST localhost:8080/v1/sessions \
+//	     -d '{"kind":"workload","seed":7}'
+//	curl -s localhost:8080/v1/sessions/s-000001/events   # ndjson stream
+//	curl -s localhost:8080/v1/sessions/s-000001/report
+//
+// The determinism contract: a session's report — fingerprint included —
+// is byte-identical to `spidersim session -spec '<the same json>'`, no
+// matter how many tenants share the daemon or whether the session ran
+// on a cold, pooled, or cached path. When the admission queue is full
+// the daemon sheds immediately with 429 and a Retry-After hint; it
+// never queues unboundedly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"spiderfs/internal/benchsuite"
+	"spiderfs/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	seed := flag.Uint64("seed", 42, "service-plane seed (session tokens and the sweep catalog; model streams come from each spec's own seed)")
+	workers := flag.Int("workers", 2, "concurrent session executors")
+	queue := flag.Int("queue", 64, "admission queue depth; submits past it are shed with 429")
+	pool := flag.Int("pool", 2, "warm engine/fabric instances retained per shape (0 = always cold)")
+	cache := flag.Int("cache", 128, "result cache entries (0 = disabled)")
+	prewarm := flag.Bool("prewarm", true, "build the warm pool before listening")
+	flag.Parse()
+
+	svc := serve.New(serve.Config{
+		Seed:       *seed,
+		Workers:    *workers,
+		QueueDepth: *queue,
+		PoolSize:   *pool,
+		CacheSize:  *cache,
+		Sweeps:     benchsuite.ServeCatalog(*seed),
+		Clock:      func() int64 { return time.Now().UnixNano() },
+	})
+	defer svc.Close()
+	if *prewarm && *pool > 0 {
+		svc.Prewarm(*pool, false)
+	}
+
+	fmt.Printf("spidersimd listening on %s (workers %d, queue %d, pool %d, cache %d)\n",
+		*addr, *workers, *queue, *pool, *cache)
+	if err := http.ListenAndServe(*addr, svc.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "spidersimd:", err)
+		os.Exit(1)
+	}
+}

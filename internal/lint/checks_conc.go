@@ -20,9 +20,13 @@ import (
 // detector ever gets a chance to catch it probabilistically.
 
 // shardScoped reports whether p is one of the packages whose goroutine
-// discipline is the Send/outbox seam (internal/shard, internal/sweep).
+// discipline is the Send/outbox seam (internal/shard, internal/sweep)
+// or, for internal/serve, the session-confined worker seam: a service
+// goroutine may write only through its own session's lock or the
+// service mutex, so captured-state writes from go funclits are flagged
+// the same way.
 func shardScoped(m *Module, p *Package) bool {
-	for _, s := range []string{"/internal/shard", "/internal/sweep"} {
+	for _, s := range []string{"/internal/shard", "/internal/sweep", "/internal/serve"} {
 		full := m.Path + s
 		if p.Path == full || strings.HasPrefix(p.Path, full+"/") {
 			return true

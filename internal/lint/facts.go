@@ -245,6 +245,8 @@ func markerCall(modpath string, callee *types.Func) (sinkInfo, bool) {
 		return mark("drives the integrity scrub plane")
 	case modpath + "/internal/shard":
 		return mark("delivers cross-shard events")
+	case modpath + "/internal/serve":
+		return mark("feeds the session service API")
 	case "fmt":
 		switch callee.Name() {
 		case "Fprint", "Fprintf", "Fprintln":

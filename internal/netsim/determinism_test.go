@@ -80,6 +80,85 @@ func TestSameInstantCompletionsDeterministic(t *testing.T) {
 	}
 }
 
+// TestFabricResetDeterministicReuse is the warm-pool seam regression:
+// a congestion-heavy scenario (router failure, degraded cable, ARN on)
+// run on a reset-and-reused engine/fabric must reproduce the fresh
+// build's event trace and outcome counters bit for bit.
+func TestFabricResetDeterministicReuse(t *testing.T) {
+	cfg := Spider2Fabric()
+	cfg.Torus = topology.Torus{NX: 5, NY: 4, NZ: 4}
+	pl := topology.PlaceRouters(topology.CabinetGrid{Cols: 5, Rows: 2}, cfg.Torus, 16, 4)
+	scenario := func(eng *sim.Engine, f *Fabric) (uint64, uint64, float64) {
+		th := sim.NewTraceHash()
+		eng.SetTrace(th.Observe)
+		f.SetNotification(true)
+		src := rng.New(3)
+		send := func() {
+			c := cfg.Torus.CoordOf(src.Intn(cfg.Torus.Nodes()))
+			f.StartClientFlow(c, src.Intn(8), RouteFGR, 16e6, src, nil)
+		}
+		for i := 0; i < 200; i++ {
+			send()
+		}
+		eng.At(sim.FromSeconds(0.05), func() {
+			f.FailRouter(src.Intn(f.NumRouters()))
+			f.Net.Degrade(f.RouterUpLinks()[src.Intn(f.NumRouters())], 0.25)
+			for i := 0; i < 100; i++ {
+				send()
+			}
+		})
+		eng.Run()
+		return th.Sum(), f.Net.FlowsCompleted, f.Net.BytesDelivered
+	}
+
+	freshEng := sim.NewEngine()
+	freshFab := NewFabric(freshEng, cfg, pl, 8)
+	wantTrace, wantDone, wantBytes := scenario(freshEng, freshFab)
+	if wantDone == 0 {
+		t.Fatal("scenario completed no flows")
+	}
+
+	eng := sim.NewEngine()
+	fab := NewFabric(eng, cfg, pl, 8)
+	if _, _, _ = scenario(eng, fab); fab.Net.ActiveFlows() != 0 {
+		t.Fatal("drained scenario left flows in flight")
+	}
+	eng.Reset()
+	if err := fab.Reset(); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if fab.RouterFailed(0) || fab.StalledSends != 0 || fab.Net.FlowsStarted != 0 {
+		t.Fatal("fabric state survived Reset")
+	}
+	gotTrace, gotDone, gotBytes := scenario(eng, fab)
+	if gotTrace != wantTrace {
+		t.Fatalf("reused fabric trace %#x != fresh trace %#x", gotTrace, wantTrace)
+	}
+	if gotDone != wantDone || gotBytes != wantBytes {
+		t.Fatalf("reused outcome %d/%g != fresh %d/%g", gotDone, gotBytes, wantDone, wantBytes)
+	}
+}
+
+// TestNetworkResetRefusesInFlight pins the drain-first contract: Reset
+// with a transfer mid-flight must fail rather than invent completion
+// semantics for it.
+func TestNetworkResetRefusesInFlight(t *testing.T) {
+	eng := sim.NewEngine()
+	n := NewNetwork(eng)
+	l := n.NewLink("solo", 1e9, 0)
+	n.StartFlow([]*Link{l}, 1e9, nil)
+	if err := n.Reset(); err == nil {
+		t.Fatal("Reset succeeded with a flow in flight")
+	}
+	eng.Run()
+	if err := n.Reset(); err != nil {
+		t.Fatalf("Reset after drain: %v", err)
+	}
+	if l.BytesCarried != 0 || l.MaxFlows != 0 || n.FlowsStarted != 0 {
+		t.Fatal("counters survived Reset")
+	}
+}
+
 // TestFabricRunDeterministic runs a congestion-heavy full-fabric
 // scenario (small torus, fan-in to few OSSes, a router burst and a
 // degraded cable mid-run) twice and compares event traces — the

@@ -161,8 +161,34 @@ func NewFabric(eng *sim.Engine, cfg FabricConfig, placement topology.Placement, 
 	return f
 }
 
+// Reset returns the fabric to its just-built state without rebuilding
+// the ~68k-link topology: router failures are recovered, ARN disabled,
+// stall/drop counters zeroed, the tracer and drop hook detached, and
+// the underlying network reset (degraded cables restored, link and flow
+// counters cleared). Call it after the owning engine has drained and
+// been Reset, so the capacity integrals restart at time zero; a reset
+// with flows still in flight is refused. This is the seam that lets the
+// warm pool (internal/serve) reuse a full-scale fabric across sessions
+// while reproducing fresh-build fingerprints bit for bit.
+func (f *Fabric) Reset() error {
+	if err := f.Net.Reset(); err != nil {
+		return err
+	}
+	f.failedRouters = nil
+	f.arn = false
+	f.StalledSends = 0
+	f.StallTime = 0
+	f.DroppedFlows = 0
+	f.OnDrop = nil
+	f.Tracer = nil
+	return nil
+}
+
 // OSSLeaf returns the leaf switch an OSS attaches to.
 func (f *Fabric) OSSLeaf(oss int) int { return f.ossLeaf[oss] }
+
+// NumOSS returns the number of attached object storage servers.
+func (f *Fabric) NumOSS() int { return len(f.ossPort) }
 
 // NumRouters returns the number of LNET routers.
 func (f *Fabric) NumRouters() int { return len(f.routerFwd) }

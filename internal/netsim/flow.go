@@ -352,6 +352,44 @@ func (n *Network) finish(f *Flow) {
 	}
 }
 
+// reset returns the link to its as-built state at time now: nominal
+// capacity restored (undoing any Degrade), congestion counters zeroed,
+// and the capacity-seconds integral restarted. The flow registry must
+// already be empty — Network.Reset refuses to run with flows in flight.
+func (l *Link) reset(now sim.Time) {
+	if l.nominal != 0 {
+		l.Cap = l.nominal
+		l.nominal = 0
+	}
+	l.capSecs = 0
+	l.capSince = now
+	l.BytesCarried = 0
+	l.MaxFlows = 0
+}
+
+// Reset returns the network to its just-built state — links keep their
+// topology and capacities (degraded links are restored to nominal) but
+// every counter and utilization integral starts over at the engine's
+// current time. This is the warm-pool seam: a reset network on a reset
+// engine must be indistinguishable from a freshly built one, so resets
+// with transfers still in flight are refused (tearing flows down
+// mid-transfer would have to invent completion semantics).
+func (n *Network) Reset() error {
+	if len(n.active) > 0 {
+		return fmt.Errorf("netsim: reset with %d flows in flight; drain the engine first", len(n.active))
+	}
+	n.FlowsStarted = 0
+	n.FlowsCompleted = 0
+	n.BytesDelivered = 0
+	n.epoch = 0
+	n.scratch = n.scratch[:0]
+	now := n.eng.Now()
+	for _, l := range n.links {
+		l.reset(now)
+	}
+	return nil
+}
+
 // MaxLinkUtilization returns the highest utilization across links and
 // that link's name — the hot-spot metric of Lesson 14.
 func (n *Network) MaxLinkUtilization() (float64, string) {

@@ -86,6 +86,8 @@ func Compare(artifact string, committed, fresh []byte) ([]Finding, error) {
 		return compareSweep(artifact, committed, fresh)
 	case "spiderfs-integrity-bench/1":
 		return compareIntegrity(artifact, committed, fresh)
+	case "spiderfs-serve-bench/1":
+		return compareServe(artifact, committed, fresh)
 	}
 	return nil, fmt.Errorf("regress %s: unknown schema %q", artifact, ch.Schema)
 }
@@ -305,6 +307,64 @@ func compareIntegrity(artifact string, committed, fresh []byte) ([]Finding, erro
 		out = append(out, Finding{artifact, "scrub-overhead",
 			fmt.Sprintf("scrub_overhead_frac %.4f exceeds ceiling %.2f (committed %.4f)",
 				f.ScrubOverheadFrac, scrubOverheadCeiling, c.ScrubOverheadFrac)})
+	}
+	return out, nil
+}
+
+type serveDoc struct {
+	Fingerprint   string `json:"fingerprint"`
+	Deterministic bool   `json:"deterministic"`
+	Errors        int    `json:"errors"`
+	Paths         []struct {
+		Path     string `json:"path"`
+		Sessions int    `json:"sessions"`
+	} `json:"paths"`
+}
+
+// compareServe gates BENCH_serve.json: the probe fingerprint is exact
+// (a pooled session must reproduce the cold run bit for bit), the
+// cold-vs-warm double run must agree on every seed (Deterministic),
+// zero sessions may fail, and every committed execution path must still
+// be measured with at least one session. The latency-derived fields —
+// sessions/sec, percentiles, warm/cache speedups — are recorded only:
+// a single-CPU host regenerating the artifact legitimately reports
+// different ratios.
+func compareServe(artifact string, committed, fresh []byte) ([]Finding, error) {
+	var c, f serveDoc
+	if err := decodeBoth(artifact, committed, fresh, &c, &f); err != nil {
+		return nil, err
+	}
+	var out []Finding
+	if !f.Deterministic {
+		out = append(out, Finding{artifact, "serve-deterministic",
+			"cold and warm-pool runs diverged (per-seed session fingerprints differ)"})
+	}
+	if f.Errors > 0 {
+		out = append(out, Finding{artifact, "serve-errors",
+			fmt.Sprintf("%d sessions failed (committed %d)", f.Errors, c.Errors)})
+	}
+	if f.Fingerprint != c.Fingerprint {
+		out = append(out, Finding{artifact, "serve-fingerprint",
+			fmt.Sprintf("probe fingerprint %s != committed %s (exact identity required)",
+				f.Fingerprint, c.Fingerprint)})
+	}
+	for _, cp := range c.Paths {
+		found := false
+		for _, fp := range f.Paths {
+			if fp.Path != cp.Path {
+				continue
+			}
+			found = true
+			if fp.Sessions == 0 {
+				out = append(out, Finding{artifact, "serve-path",
+					fmt.Sprintf("path %s measured zero sessions (committed %d)", cp.Path, cp.Sessions)})
+			}
+			break
+		}
+		if !found {
+			out = append(out, Finding{artifact, "serve-path",
+				fmt.Sprintf("execution path %s absent from fresh run", cp.Path)})
+		}
 	}
 	return out, nil
 }

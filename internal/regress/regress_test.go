@@ -73,6 +73,27 @@ const integrityCommitted = `{
   ]
 }`
 
+const serveCommitted = `{
+  "schema": "spiderfs-serve-bench/1",
+  "cpus": 8,
+  "workers": 2,
+  "pool_size": 2,
+  "fingerprint": "6f1d2c3b4a596877",
+  "deterministic": true,
+  "errors": 0,
+  "cache_hits": 12,
+  "cache_misses": 13,
+  "cache_evictions": 0,
+  "pool_reuses": 10,
+  "warm_speedup": 1.8,
+  "cache_speedup": 240.5,
+  "paths": [
+    {"path": "cold", "sessions": 12, "sessions_per_sec": 310.5, "p50_ns": 3200000, "p99_ns": 5100000},
+    {"path": "warm", "sessions": 12, "sessions_per_sec": 560.2, "p50_ns": 1800000, "p99_ns": 2900000},
+    {"path": "cache", "sessions": 12, "sessions_per_sec": 9100.0, "p50_ns": 13000, "p99_ns": 41000}
+  ]
+}`
+
 func mustCompare(t *testing.T, artifact, committed, fresh string) []Finding {
 	t.Helper()
 	out, err := Compare(artifact, []byte(committed), []byte(fresh))
@@ -98,6 +119,7 @@ func TestIdenticalArtifactsPass(t *testing.T) {
 		{"BENCH_spantrace.json", spantraceCommitted},
 		{"BENCH_sweep.json", sweepCommitted},
 		{"BENCH_integrity.json", integrityCommitted},
+		{"BENCH_serve.json", serveCommitted},
 	} {
 		if out := mustCompare(t, c.name, c.doc, c.doc); len(out) != 0 {
 			t.Errorf("%s vs itself: %v", c.name, out)
@@ -236,6 +258,39 @@ func TestSpantraceGates(t *testing.T) {
 	sparse := strings.Replace(spantraceCommitted, `"spans_per_op": 518.75`,
 		`"spans_per_op": 120.0`, 1)
 	wantCheck(t, mustCompare(t, "BENCH_spantrace.json", spantraceCommitted, sparse), "spans-per-op")
+}
+
+// TestServeGates is the sabotage suite for BENCH_serve.json: a drifted
+// probe fingerprint, a cold-vs-warm divergence, any failed session, or
+// a vanished/empty execution path must each trip the gate, while the
+// latency-derived fields (speedups, sessions/sec, percentiles) may
+// swing freely — a 1-CPU host regenerating the artifact reports
+// different ratios and must still pass.
+func TestServeGates(t *testing.T) {
+	drift := strings.Replace(serveCommitted, "6f1d2c3b4a596877", "deadbeefdeadbeef", 1)
+	wantCheck(t, mustCompare(t, "BENCH_serve.json", serveCommitted, drift), "serve-fingerprint")
+
+	racy := strings.Replace(serveCommitted, `"deterministic": true`, `"deterministic": false`, 1)
+	wantCheck(t, mustCompare(t, "BENCH_serve.json", serveCommitted, racy), "serve-deterministic")
+
+	failed := strings.Replace(serveCommitted, `"errors": 0`, `"errors": 2`, 1)
+	wantCheck(t, mustCompare(t, "BENCH_serve.json", serveCommitted, failed), "serve-errors")
+
+	gone := strings.Replace(serveCommitted, `"path": "warm"`, `"path": "lukewarm"`, 1)
+	wantCheck(t, mustCompare(t, "BENCH_serve.json", serveCommitted, gone), "serve-path")
+
+	hollow := strings.Replace(serveCommitted, `{"path": "cache", "sessions": 12`,
+		`{"path": "cache", "sessions": 0`, 1)
+	wantCheck(t, mustCompare(t, "BENCH_serve.json", serveCommitted, hollow), "serve-path")
+
+	// Timing swings never gate: halve every rate, invert both speedups.
+	slow := strings.Replace(serveCommitted, `"warm_speedup": 1.8`, `"warm_speedup": 0.4`, 1)
+	slow = strings.Replace(slow, `"cache_speedup": 240.5`, `"cache_speedup": 0.9`, 1)
+	slow = strings.Replace(slow, `"sessions_per_sec": 560.2`, `"sessions_per_sec": 4.1`, 1)
+	slow = strings.Replace(slow, `"p99_ns": 2900000`, `"p99_ns": 990000000`, 1)
+	if out := mustCompare(t, "BENCH_serve.json", serveCommitted, slow); len(out) != 0 {
+		t.Errorf("latency drift should not trip the gate: %v", out)
+	}
 }
 
 func TestSchemaMismatchAndErrors(t *testing.T) {

@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func postSpec(t *testing.T, ts *httptest.Server, body string) (*http.Response, Snapshot) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
+	return resp, snap
+}
+
+// drainEvents reads the ndjson progress stream to EOF (the handler
+// closes it after the terminal event) and returns the events.
+func drainEvents(t *testing.T, ts *httptest.Server, id string, seq int) []Event {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/sessions/" + id + "/events?seq=" + strconv.Itoa(seq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("events content-type %q", ct)
+	}
+	var events []Event
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+// TestHTTPSessionLifecycle submits over HTTP, streams progress to the
+// terminal event, and byte-compares the served report against the
+// one-shot solo run — the API half of the determinism contract.
+func TestHTTPSessionLifecycle(t *testing.T) {
+	svc := New(Config{Workers: 2, PoolSize: 1, QueueDepth: 8})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	resp, snap := postSpec(t, ts, `{"kind":"workload","seed":42,"waves":2,"flows":64,"bytes":4e6}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	if snap.ID == "" || snap.Token == "" || snap.Key == "" {
+		t.Fatalf("incomplete snapshot %+v", snap)
+	}
+
+	events := drainEvents(t, ts, snap.ID, 0)
+	if len(events) < 4 { // queued, running, 2 waves, done
+		t.Fatalf("only %d events: %+v", len(events), events)
+	}
+	if events[0].State != StateQueued || events[len(events)-1].State != StateDone {
+		t.Fatalf("event stream ends wrong: %+v", events)
+	}
+	if !strings.HasPrefix(events[len(events)-1].Note, "fingerprint ") {
+		t.Fatalf("terminal note %q", events[len(events)-1].Note)
+	}
+	// Resume from mid-stream: the tail after seq=2 must line up.
+	tail := drainEvents(t, ts, snap.ID, 2)
+	if len(tail) != len(events)-2 || tail[0].Seq != 2 {
+		t.Fatalf("resume tail wrong: %+v", tail)
+	}
+
+	// Poll endpoint agrees the session is done.
+	poll, err := http.Get(ts.URL + "/v1/sessions/" + snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done Snapshot
+	if err := json.NewDecoder(poll.Body).Decode(&done); err != nil {
+		t.Fatal(err)
+	}
+	poll.Body.Close()
+	if done.State != StateDone || done.Report == nil {
+		t.Fatalf("poll after terminal: %+v", done)
+	}
+
+	// The served report is byte-identical to the solo run.
+	want, err := RunSolo(Spec{Kind: "workload", Seed: 42, Waves: 2, Flows: 64, Bytes: 4e6}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := want.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := http.Get(ts.URL + "/v1/sessions/" + snap.ID + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := io.ReadAll(rep.Body)
+	rep.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StatusCode != http.StatusOK {
+		t.Fatalf("report status %d: %s", rep.StatusCode, gotJSON)
+	}
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Fatalf("served report differs from solo run:\n%s\nvs\n%s", gotJSON, wantJSON)
+	}
+
+	// Stats endpoint lists the session in admission order.
+	st, err := http.Get(ts.URL + "/v1/stats?sessions=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	if err := json.NewDecoder(st.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	st.Body.Close()
+	if stats.Completed != 1 || len(stats.Sessions) != 1 || stats.Sessions[0].ID != snap.ID {
+		t.Fatalf("stats: %+v", stats)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	svc := New(Config{Workers: 1, PoolSize: 1, QueueDepth: 4})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	if resp, _ := postSpec(t, ts, `{"kind":"nonsense"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown kind: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postSpec(t, ts, `{not json`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d, want 400", resp.StatusCode)
+	}
+	for _, path := range []string{"/v1/sessions/s-999999", "/v1/sessions/s-999999/events", "/v1/sessions/s-999999/report"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+
+	// A real session with a garbage seq parameter is a 400.
+	_, snap := postSpec(t, ts, `{"kind":"workload","seed":7,"waves":1,"flows":16,"bytes":1e6}`)
+	resp, err := http.Get(ts.URL + "/v1/sessions/" + snap.ID + "/events?seq=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad seq: status %d, want 400", resp.StatusCode)
+	}
+	if sess, ok := svc.Session(snap.ID); ok {
+		_, _ = sess.Wait()
+	}
+}
+
+// TestHTTPBackpressure429 overflows the admission queue over HTTP and
+// demands 429 with a Retry-After header — the shedding contract.
+func TestHTTPBackpressure429(t *testing.T) {
+	svc := New(Config{Workers: 1, PoolSize: 1, QueueDepth: 1, CacheSize: -1})
+	gate := make(chan struct{})
+	svc.testGate = gate
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	resp, blocker := postSpec(t, ts, `{"kind":"workload","seed":800,"waves":1,"flows":16,"bytes":1e6}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("blocker status %d", resp.StatusCode)
+	}
+	<-gate // worker owns the blocker and is parked: the queue slot is free
+
+	if resp, _ := postSpec(t, ts, `{"kind":"workload","seed":801,"waves":1,"flows":16,"bytes":1e6}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("filler status %d", resp.StatusCode)
+	}
+	resp, _ = postSpec(t, ts, `{"kind":"workload","seed":802,"waves":1,"flows":16,"bytes":1e6}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow status %d, want 429", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After %q, want a positive integer", resp.Header.Get("Retry-After"))
+	}
+
+	// Release both admitted sessions so Close has nothing in flight.
+	gate <- struct{}{}
+	<-gate
+	gate <- struct{}{}
+	if sess, ok := svc.Session(blocker.ID); ok {
+		_, _ = sess.Wait()
+	}
+}

@@ -1,0 +1,296 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"spiderfs/internal/rng"
+	"spiderfs/internal/sweep"
+)
+
+// Config declares a Service. Zero values take the documented defaults.
+type Config struct {
+	// Seed roots the service-plane random streams (session tokens).
+	// Model randomness never derives from it — sessions draw from their
+	// spec's own seed, which is what makes results reproduce solo runs.
+	Seed uint64
+	// Workers is the number of concurrent session executors (default 2).
+	Workers int
+	// QueueDepth bounds the admission queue; a submit past this depth is
+	// shed with ErrBusy rather than queued (default 64).
+	QueueDepth int
+	// PoolSize is the number of warm instances retained per fabric shape
+	// (default 2; 0 disables warm reuse — every workload runs cold).
+	PoolSize int
+	// CacheSize bounds the LRU result cache in entries (default 128;
+	// 0 disables caching).
+	CacheSize int
+	// Sweeps is the catalog "sweep"-kind specs may name (typically
+	// benchsuite.SweepEntries; nil leaves the kind unavailable).
+	Sweeps []sweep.Entry
+	// Clock, when set, timestamps session latencies (wall nanoseconds).
+	// The simulation plane never reads it — leaving it nil (as tests do)
+	// only zeroes the recorded latencies.
+	Clock func() int64
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.PoolSize < 0 {
+		c.PoolSize = 0
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 128
+	}
+	if c.CacheSize < 0 {
+		c.CacheSize = 0
+	}
+}
+
+// ErrBusy is returned by Submit when the admission queue is full. The
+// API layer translates it to 429 with a Retry-After of the hinted
+// seconds; the hint is the queue depth over the worker count — how
+// long the backlog takes to drain at one session-second per session —
+// computed from counters, never from wall clock.
+type ErrBusy struct{ RetryAfter int }
+
+func (e ErrBusy) Error() string {
+	return fmt.Sprintf("serve: admission queue full, retry after %ds", e.RetryAfter)
+}
+
+// Service executes scenario sessions from a bounded admission queue on
+// a fixed worker pool, reusing warm engine/fabric instances and
+// answering repeated (spec, seed) submissions from the result cache.
+type Service struct {
+	cfg   Config
+	pool  *pool
+	queue chan *Session
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	sessions map[string]*Session
+	order    []string // session IDs in admission order (maps are lookup-only)
+	nextID   uint64
+	cache    *cache
+
+	submitted uint64
+	rejected  uint64
+	completed uint64
+	failed    uint64
+
+	// testGate, when set (by tests, before the first Submit), makes each
+	// worker announce a pickup with a send and park until the test
+	// releases it with a send back — the deterministic seam the
+	// backpressure tests use to hold the queue full while they overflow
+	// it. Nil in production; the channel handoff orders the accesses.
+	testGate chan struct{}
+}
+
+// New starts a service. Close releases its workers.
+func New(cfg Config) *Service {
+	cfg.fill()
+	s := &Service{
+		cfg:      cfg,
+		pool:     newPool(cfg.PoolSize),
+		queue:    make(chan *Session, cfg.QueueDepth),
+		sessions: make(map[string]*Session),
+		cache:    newCache(cfg.CacheSize),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops admission, drains queued sessions, and waits for the
+// workers to exit. Safe to call once.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// Prewarm builds n warm instances of the given shape into the pool so
+// the first sessions already reuse instead of building.
+func (s *Service) Prewarm(n int, full bool) { s.pool.prewarm(n, full) }
+
+// Submit validates and admits a spec. It never blocks: when the
+// admission queue is full the spec is shed with ErrBusy carrying the
+// Retry-After hint. The returned session is already registered and
+// observable via Session/Wait/EventsSince.
+func (s *Service) Submit(spec Spec) (*Session, error) {
+	if err := spec.Normalize(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("serve: service closed")
+	}
+	s.nextID++
+	id := fmt.Sprintf("s-%06d", s.nextID)
+	// Per-session service-plane rng isolation: the token stream is split
+	// off a fresh source by session ID, so no session's draws perturb
+	// another's and the stream is reproducible from (Seed, ID) alone.
+	token := rng.New(s.cfg.Seed).Split("serve/" + id).Uint64()
+	sess := newSession(id, token, spec)
+	select {
+	case s.queue <- sess:
+		s.submitted++
+		s.sessions[id] = sess
+		s.order = append(s.order, id)
+		s.mu.Unlock()
+		return sess, nil
+	default:
+		s.rejected++
+		s.nextID-- // shed sessions don't consume IDs
+		retry := (s.cfg.QueueDepth + s.cfg.Workers - 1) / s.cfg.Workers
+		if retry < 1 {
+			retry = 1
+		}
+		s.mu.Unlock()
+		return nil, ErrBusy{RetryAfter: retry}
+	}
+}
+
+// Session looks a session up by ID.
+func (s *Service) Session(id string) (*Session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	return sess, ok
+}
+
+// worker drains the admission queue. Workers are the only goroutines
+// the service launches; they share nothing but the mutex-guarded
+// service state and each session's own lock.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for sess := range s.queue {
+		if g := s.testGate; g != nil {
+			g <- struct{}{} // announce pickup
+			<-g             // wait for release
+		}
+		s.run(sess)
+	}
+}
+
+// run executes one session: result cache first, then the warm pool for
+// workloads, cold execution otherwise.
+func (s *Service) run(sess *Session) {
+	var t0 int64
+	if s.cfg.Clock != nil {
+		t0 = s.cfg.Clock()
+	}
+	elapsed := func() int64 {
+		if s.cfg.Clock == nil {
+			return 0
+		}
+		return s.cfg.Clock() - t0
+	}
+
+	key := sess.Spec.Key()
+	s.mu.Lock()
+	rep, hit := s.cache.get(key)
+	s.mu.Unlock()
+	if hit {
+		sess.start("cache")
+		s.finish(sess, rep, true, false, elapsed())
+		return
+	}
+
+	var err error
+	warm := false
+	if sess.Spec.Kind == "workload" {
+		var inst *instance
+		inst, warm = s.pool.acquire(sess.Spec.Full)
+		if warm {
+			sess.start("warm")
+		} else {
+			sess.start("cold")
+		}
+		rep = runWorkload(inst.eng, inst.fab, sess.Spec, sess.note)
+		s.pool.release(inst)
+	} else {
+		sess.start("cold")
+		rep, err = RunSolo(sess.Spec, s.cfg.Sweeps)
+	}
+	if err != nil {
+		s.mu.Lock()
+		s.failed++
+		s.mu.Unlock()
+		sess.fail(err.Error(), elapsed())
+		return
+	}
+	s.mu.Lock()
+	s.cache.put(key, rep)
+	s.mu.Unlock()
+	s.finish(sess, rep, false, warm, elapsed())
+}
+
+func (s *Service) finish(sess *Session, rep *Report, cached, warm bool, latNs int64) {
+	s.mu.Lock()
+	s.completed++
+	s.mu.Unlock()
+	sess.finish(rep, cached, warm, latNs)
+}
+
+// Stats is the service-wide counter snapshot /v1/stats serves.
+type Stats struct {
+	Submitted uint64 `json:"submitted"`
+	Rejected  uint64 `json:"rejected"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Queued    int    `json:"queued"`
+
+	CacheHits      uint64 `json:"cache_hits"`
+	CacheMisses    uint64 `json:"cache_misses"`
+	CacheEvictions uint64 `json:"cache_evictions"`
+
+	PoolBuilds   uint64 `json:"pool_builds"`
+	PoolReuses   uint64 `json:"pool_reuses"`
+	PoolDiscards uint64 `json:"pool_discards"`
+	PoolWarm     int    `json:"pool_warm"`
+
+	Sessions []Snapshot `json:"sessions,omitempty"`
+}
+
+// Stats snapshots the counters. withSessions additionally lists every
+// session in admission order (the ordered ID slice, not map iteration,
+// so the listing is deterministic).
+func (s *Service) Stats(withSessions bool) Stats {
+	s.mu.Lock()
+	st := Stats{
+		Submitted: s.submitted, Rejected: s.rejected,
+		Completed: s.completed, Failed: s.failed,
+		Queued:         len(s.queue),
+		CacheHits:      s.cache.hits,
+		CacheMisses:    s.cache.misses,
+		CacheEvictions: s.cache.evictions,
+	}
+	var listed []*Session
+	if withSessions {
+		for _, id := range s.order {
+			listed = append(listed, s.sessions[id])
+		}
+	}
+	s.mu.Unlock()
+	st.PoolBuilds, st.PoolReuses, st.PoolDiscards, st.PoolWarm = s.pool.counters()
+	for _, sess := range listed {
+		st.Sessions = append(st.Sessions, sess.Snapshot())
+	}
+	return st
+}

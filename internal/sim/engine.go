@@ -289,7 +289,48 @@ func (e *Engine) RunUntil(t Time) {
 }
 
 // RunFor runs the simulation for a duration d of simulated time.
-func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+// Negative d is treated as zero, and a horizon that would overflow the
+// clock saturates at MaxTime instead of wrapping behind it (a wrapped
+// horizon would strand every pending event "in the future" of a
+// negative deadline and silently run nothing).
+func (e *Engine) RunFor(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	t := e.now + d
+	if t < e.now { // overflow: saturate at the end of representable time
+		t = MaxTime
+	}
+	e.RunUntil(t)
+}
+
+// Reset returns the engine to its just-constructed state: the clock at
+// zero, no scheduled events, no canceled-tombstone debt, counters
+// cleared, the sticky stop flag re-armed, and any trace hook removed.
+// This is the warm-pool seam (internal/serve): a model stack built on a
+// reset engine must reproduce a fresh engine's event-trace fingerprint
+// bit for bit, because nothing — sequence numbers included — survives.
+//
+// Events still in the heap are tombstoned in place (callback and engine
+// references dropped) so a stale *Event held by old model code becomes
+// permanently non-pending and its Cancel a no-op, rather than a
+// corruption of the next run's live/tomb accounting.
+func (e *Engine) Reset() {
+	for _, ev := range e.heap {
+		ev.canceled = true
+		ev.fn = nil
+		ev.eng = nil
+		ev.idx = -1
+	}
+	e.heap = e.heap[:0]
+	e.now = 0
+	e.seq = 0
+	e.fired = 0
+	e.live = 0
+	e.tomb = 0
+	e.stopped = false
+	e.trace = nil
+}
 
 func (e *Engine) peek() *Event {
 	for len(e.heap) > 0 && e.heap[0].canceled {

@@ -401,3 +401,98 @@ func TestFromSeconds(t *testing.T) {
 		t.Fatal("negative seconds should clamp to 0")
 	}
 }
+
+// runTracedModel drives a small model with cancels, ties, and nested
+// scheduling on e and returns its trace fingerprint. Used to compare a
+// fresh engine against a reset-and-reused one.
+func runTracedModel(e *Engine, seed int) uint64 {
+	th := NewTraceHash()
+	e.SetTrace(th.Observe)
+	r := rand.New(rand.NewSource(int64(seed)))
+	var evs []*Event
+	for i := 0; i < 200; i++ {
+		evs = append(evs, e.At(Time(r.Intn(50)), func() {}))
+	}
+	for i := 0; i < 50; i++ {
+		evs[r.Intn(len(evs))].Cancel()
+	}
+	e.At(60, func() {
+		e.After(5, func() {})
+		e.After(0, func() {})
+	})
+	e.Run()
+	return th.Sum()
+}
+
+func TestEngineResetDeterministicReuse(t *testing.T) {
+	fresh := runTracedModel(NewEngine(), 7)
+
+	// Dirty an engine thoroughly — mid-run stop, pending events, trace
+	// hook, tombstones — then Reset and rerun the same model.
+	e := NewEngine()
+	e.SetTrace(func(Time, uint64) {})
+	for i := 0; i < 100; i++ {
+		e.At(Time(i), func() {})
+	}
+	stale := e.At(500, func() { t.Error("stale pre-reset event fired") })
+	e.At(10, func() { e.Stop() })
+	e.Run()
+
+	e.Reset()
+	if e.Now() != 0 || e.Pending() != 0 || e.Fired() != 0 || e.Stopped() {
+		t.Fatalf("reset engine not pristine: now=%v pending=%d fired=%d stopped=%v",
+			e.Now(), e.Pending(), e.Fired(), e.Stopped())
+	}
+	if stale.Pending() {
+		t.Fatal("pre-reset event still pending after Reset")
+	}
+	if stale.Cancel() {
+		t.Fatal("canceling a pre-reset event should be a no-op")
+	}
+
+	reused := runTracedModel(e, 7)
+	if reused != fresh {
+		t.Fatalf("reset-and-reused trace %#x != fresh trace %#x", reused, fresh)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after reuse run", e.Pending())
+	}
+}
+
+func TestEngineResetStaleCancelDoesNotCorruptCounters(t *testing.T) {
+	e := NewEngine()
+	stale := e.At(10, func() {})
+	e.Reset()
+	stale.Cancel() // must not decrement the new run's live count
+	ev := e.At(5, func() {})
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	_ = ev
+	e.Run()
+	if e.Fired() != 1 {
+		t.Fatalf("fired = %d, want 1", e.Fired())
+	}
+}
+
+func TestEngineRunForOverflowSaturates(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(100)
+	fired := false
+	e.At(200, func() { fired = true })
+	// now + MaxTime would wrap to a negative horizon; the guard must
+	// saturate instead, fire the pending event, and park the clock at
+	// MaxTime.
+	e.RunFor(MaxTime)
+	if !fired {
+		t.Fatal("pending event stranded behind a wrapped horizon")
+	}
+	if e.Now() != MaxTime {
+		t.Fatalf("clock = %v, want MaxTime", e.Now())
+	}
+	// Negative d clamps to zero rather than rewinding.
+	e.RunFor(-5)
+	if e.Now() != MaxTime {
+		t.Fatalf("clock moved on negative RunFor: %v", e.Now())
+	}
+}

@@ -25,6 +25,10 @@ const (
 	Day              = 24 * Hour
 )
 
+// MaxTime is the farthest representable instant (~292 simulated years).
+// RunFor saturates here instead of wrapping when now + d overflows.
+const MaxTime Time = 1<<63 - 1
+
 // Seconds returns the time as a floating-point number of seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
