@@ -37,6 +37,15 @@
 // requires exact fingerprint identity and zero failed sessions, and
 // records — never gates — the speedups).
 //
+// With -ledger it runs the operations-ledger benchmark: the quick
+// chaos campaign's anchored Merkle root sequence (double-run and
+// traced-vs-untraced byte-identical), the auditor's adversarial
+// tamper scorecard, and an anchoring batch-size sweep (the checked-in
+// BENCH_ledger.json is produced by
+// `go run ./cmd/benchsuite -ledger -out BENCH_ledger.json`; the gate
+// requires exact root/head identity and all tamper classes detected,
+// and records — never gates — the append throughput).
+//
 // With -check it is the bench-regression gate: each committed
 // BENCH_*.json in -bench-dir is compared against its freshly generated
 // counterpart in -fresh, and any gate finding (see internal/regress)
@@ -62,7 +71,7 @@ import (
 
 // benchArtifacts are the committed bench JSON files the -check gate
 // knows how to compare (via their schema fields).
-var benchArtifacts = []string{"BENCH_netsim.json", "BENCH_spantrace.json", "BENCH_sweep.json", "BENCH_integrity.json", "BENCH_serve.json"}
+var benchArtifacts = []string{"BENCH_netsim.json", "BENCH_spantrace.json", "BENCH_sweep.json", "BENCH_integrity.json", "BENCH_serve.json", "BENCH_ledger.json"}
 
 func main() {
 	cellSec := flag.Float64("cell", 1.0, "seconds per sweep cell (simulated)")
@@ -72,12 +81,13 @@ func main() {
 	sweepSuite := flag.Bool("sweep", false, "run the seed-sweep suite (E3/E13/E18) instead of the acquisition sweep")
 	integritySuite := flag.Bool("integrity", false, "run the E19 data-integrity sweep (scrub interval vs undetected corruption)")
 	serveSuite := flag.Bool("serve", false, "run the session-service benchmark (cold vs warm-pool vs cache-hit)")
+	ledgerSuite := flag.Bool("ledger", false, "run the operations-ledger benchmark (campaign roots, tamper scorecard, batch sweep)")
 	workers := flag.Int("workers", 0, "with -sweep, parallel worker count (0 = GOMAXPROCS)")
 	check := flag.Bool("check", false, "regression gate: compare committed BENCH_*.json against -fresh copies")
 	benchDir := flag.String("bench-dir", ".", "with -check, directory holding the committed BENCH_*.json files")
 	freshDir := flag.String("fresh", "", "with -check, directory holding freshly generated BENCH_*.json files")
 	full := flag.Bool("full", true, "with -netsim/-spantrace, use the Spider II-scale congestion benchmark")
-	out := flag.String("out", "", "with -netsim/-spantrace/-sweep, write the suite JSON to this file")
+	out := flag.String("out", "", "with a suite flag, write the suite JSON to this file")
 	flag.Parse()
 
 	if *check {
@@ -102,6 +112,10 @@ func main() {
 	}
 	if *serveSuite {
 		runServe(*out)
+		return
+	}
+	if *ledgerSuite {
+		runLedger(*seed, *out)
 		return
 	}
 
@@ -180,6 +194,33 @@ func runServe(out string) {
 	fmt.Print(s.Render())
 	if s.Errors > 0 || !s.Deterministic {
 		fmt.Fprintln(os.Stderr, "benchsuite: serve suite failed its own determinism check")
+		os.Exit(1)
+	}
+	if out == "" {
+		return
+	}
+	data, err := s.JSON()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", out)
+}
+
+func runLedger(seed uint64, out string) {
+	fmt.Println("== operations ledger (anchored campaign roots, tamper scorecard, batch sweep) ==")
+	s, err := benchsuite.RunLedgerSuite(seed, func() int64 { return time.Now().UnixNano() })
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(1)
+	}
+	fmt.Print(s.Render())
+	if !s.Deterministic || !s.TracedIdentical || !s.AuditClean || s.TampersDetected != s.TamperTotal {
+		fmt.Fprintln(os.Stderr, "benchsuite: ledger suite failed its own invariants")
 		os.Exit(1)
 	}
 	if out == "" {

@@ -15,6 +15,7 @@
 //	spidersim scrub       — background scrub vs latent-corruption exposure (E19), off vs default
 //	spidersim shard       — sharded parallel fabric run with serial fingerprint cross-check
 //	spidersim session     — one-shot run of a service session spec (the cmd/spidersimd reference)
+//	spidersim ledger      — verify, replay, or extend an exported operations ledger
 package main
 
 import (
@@ -56,6 +57,12 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := os.Args[1]
+	if cmd == "ledger" {
+		// The ledger subcommand takes a verb (verify|replay|append)
+		// before its flags; it parses its own argument list.
+		runLedger(os.Args[2:])
+		return
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	seed := fs.Uint64("seed", 42, "random seed")
 	days := fs.Int("days", 0, "chaos: override the campaign length in simulated days")
@@ -67,6 +74,7 @@ func main() {
 	replicas := fs.Int("replicas", 0, "sweep: override the replica count per sweep")
 	workers := fs.Int("workers", 0, "sweep: parallel worker count (0 = GOMAXPROCS)")
 	spec := fs.String("spec", "", "session: the scenario spec as JSON, e.g. '{\"kind\":\"workload\",\"seed\":7}'")
+	ledgerOut := fs.String("ledger", "", "chaos: export the campaign's operations ledger as JSON to this file")
 	_ = fs.Parse(os.Args[2:])
 
 	switch cmd {
@@ -91,7 +99,7 @@ func main() {
 	case "recovery":
 		runRecovery(*seed)
 	case "chaos":
-		runChaos(*seed, *days, *full)
+		runChaos(*seed, *days, *full, *ledgerOut)
 	case "spans":
 		runSpans(*seed, *scenario, *every, *out)
 	case "sweep":
@@ -115,7 +123,8 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: spidersim <arch|layers|mixed|checkpoint|slowdisk|incident|purge|namespaces|workflow|fig3|fig4|recovery|chaos|spans|sweep|scrub|shard|session> [-seed N] [-days N] [-full] [-scenario fig3|chaos] [-every N] [-out FILE] [-exp e3|e13|e18|e19|all] [-replicas N] [-workers N] [-spec JSON]")
+	fmt.Fprintln(os.Stderr, "usage: spidersim <arch|layers|mixed|checkpoint|slowdisk|incident|purge|namespaces|workflow|fig3|fig4|recovery|chaos|spans|sweep|scrub|shard|session|ledger> [-seed N] [-days N] [-full] [-scenario fig3|chaos] [-every N] [-out FILE] [-exp e3|e13|e18|e19|all] [-replicas N] [-workers N] [-spec JSON] [-ledger FILE]")
+	fmt.Fprintln(os.Stderr, "       spidersim ledger <verify|replay|append> -in FILE [...]")
 }
 
 // runSession executes one service session spec solo and prints the
@@ -335,7 +344,7 @@ func runSpans(seed uint64, scenario string, every int, out string) {
 	}
 }
 
-func runChaos(seed uint64, days int, full bool) {
+func runChaos(seed uint64, days int, full bool, ledgerOut string) {
 	cfg := chaos.QuickConfig(seed)
 	if full {
 		cfg = chaos.DefaultConfig(seed)
@@ -346,6 +355,14 @@ func runChaos(seed uint64, days int, full bool) {
 	fmt.Println("center-wide chaos campaign: correlated faults vs the Sec. IV resilience features")
 	feat := chaos.Run(cfg)
 	fmt.Print(feat)
+	if ledgerOut != "" {
+		if err := writeLedger(ledgerOut, feat.Ops); err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote operations ledger (%d entries, %d anchors) to %s\n",
+			feat.LedgerEntries, feat.LedgerAnchors, ledgerOut)
+	}
 	if len(feat.Timeline) > 0 {
 		fmt.Println("first faults on the timeline:")
 		for i, line := range feat.Timeline {

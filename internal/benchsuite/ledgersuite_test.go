@@ -1,0 +1,78 @@
+package benchsuite
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestLedgerSuiteDeterministic pins the artifact's own determinism:
+// two runs under a counter clock must agree on every gated field (the
+// wall-derived throughput numbers are zeroed by the injected clock).
+func TestLedgerSuiteDeterministic(t *testing.T) {
+	run := func() LedgerSuite {
+		s, err := RunLedgerSuite(7, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := run(), run()
+	aj, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(aj) != string(bj) {
+		t.Fatalf("ledger suite double run diverged:\n%s\nvs\n%s", aj, bj)
+	}
+}
+
+func TestLedgerSuiteProperties(t *testing.T) {
+	tick := int64(0)
+	s, err := RunLedgerSuite(7, func() int64 { tick += 1e6; return tick })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Deterministic || !s.TracedIdentical || !s.AuditClean {
+		t.Fatalf("deterministic=%v traced=%v clean=%v, want all true",
+			s.Deterministic, s.TracedIdentical, s.AuditClean)
+	}
+	if s.CampaignEntries == 0 || s.CampaignAnchors == 0 || s.CampaignDrops != 0 {
+		t.Fatalf("campaign ledger %d/%d/%d", s.CampaignEntries, s.CampaignAnchors, s.CampaignDrops)
+	}
+	if len(s.CampaignRoots) != s.CampaignAnchors {
+		t.Fatalf("%d roots for %d anchors", len(s.CampaignRoots), s.CampaignAnchors)
+	}
+	if s.TamperTotal != 5 || s.TampersDetected != 5 {
+		t.Fatalf("tampers %d/%d, want 5/5: %+v", s.TampersDetected, s.TamperTotal, s.Tampers)
+	}
+	for _, tc := range s.Tampers {
+		if tc.Epoch < 0 {
+			t.Fatalf("tamper %s detected without an offending epoch: %+v", tc.Name, tc)
+		}
+	}
+	if len(s.Batches) != 4 {
+		t.Fatalf("%d batch points, want 4", len(s.Batches))
+	}
+	prev := 0
+	for _, p := range s.Batches {
+		if p.Entries != batchSweepEntries {
+			t.Fatalf("batch %d appended %d entries", p.MaxBatch, p.Entries)
+		}
+		// Smaller batches seal more anchors; the sweep must be strictly
+		// ordered or the MaxBatch knob is not doing anything.
+		if prev != 0 && p.Anchors >= prev {
+			t.Fatalf("anchors not decreasing with batch size: %+v", s.Batches)
+		}
+		prev = p.Anchors
+		if p.AppendNs <= 0 || p.EntriesPerSec <= 0 {
+			t.Fatalf("batch %d recorded no throughput under a ticking clock", p.MaxBatch)
+		}
+	}
+	if s.Render() == "" {
+		t.Fatal("empty render")
+	}
+}

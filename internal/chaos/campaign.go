@@ -7,6 +7,7 @@ import (
 	"spiderfs/internal/disk"
 	"spiderfs/internal/failure"
 	"spiderfs/internal/integrity"
+	"spiderfs/internal/ledger"
 	"spiderfs/internal/lustre"
 	"spiderfs/internal/monitor"
 	"spiderfs/internal/netsim"
@@ -91,6 +92,17 @@ type Config struct {
 	ProbeInterval sim.Time
 	ProbeBytes    int64
 
+	// LedgerEpoch is the anchoring cadence of the operations ledger
+	// (internal/ledger): every monitor event, operator repair action,
+	// and scrub escalation is appended as a hash-chained entry, and the
+	// accumulated batch is sealed under a Merkle root each time an entry
+	// crosses into a new epoch. Zero means the ledger default (one
+	// anchor per simulated hour). The ledger is an observer — it
+	// schedules no events and draws no randomness — so arming or
+	// re-cadencing it never perturbs the fault schedule, and its root
+	// sequence extends the campaign fingerprint.
+	LedgerEpoch sim.Time
+
 	// TraceEvents arms the engine's event-trace audit: the report's
 	// EventTrace/TraceEvents fields then fingerprint every fired event's
 	// (time, seq) pair, so two runs can be compared at event granularity
@@ -154,6 +166,8 @@ func DefaultConfig(seed uint64) Config {
 
 		ProbeInterval: 2 * sim.Hour,
 		ProbeBytes:    64 << 20,
+
+		LedgerEpoch: sim.Hour,
 	}
 }
 
@@ -211,7 +225,8 @@ type campaign struct {
 	c      *center.Center
 	eng    *sim.Engine
 	graph  *Graph
-	ledger *Ledger
+	ledger *Ledger        // per-component downtime stats (MTBF/MTTR)
+	ops    *ledger.Ledger // tamper-evident operations ledger
 	coal   *monitor.Coalescer
 
 	grpName   map[*raid.Group]string
@@ -246,10 +261,11 @@ func Run(cfg Config) *Report {
 		th = sim.NewTraceHash()
 		eng.SetTrace(th.Observe)
 	}
-	ledger := NewLedger(eng)
-	graph := NewGraph(eng, ledger)
+	downLedger := NewLedger(eng)
+	graph := NewGraph(eng, downLedger)
 	p := &campaign{
-		cfg: cfg, c: cc, eng: eng, graph: graph, ledger: ledger,
+		cfg: cfg, c: cc, eng: eng, graph: graph, ledger: downLedger,
+		ops:      ledger.New(ledger.Config{Epoch: cfg.LedgerEpoch}),
 		coal:     monitor.NewCoalescer(30 * sim.Second),
 		grpName:  map[*raid.Group]string{},
 		degraded: map[int]bool{},
@@ -280,7 +296,8 @@ func Run(cfg Config) *Report {
 	for _, s := range p.scrubbers {
 		s.Stop()
 	}
-	ledger.Close()
+	downLedger.Close()
+	p.ops.Close()
 	p.coal.Close()
 	p.finishReport()
 	if th != nil {
@@ -290,9 +307,23 @@ func Run(cfg Config) *Report {
 	return p.rep
 }
 
-// ingest forwards an event into the incident coalescer (events arrive
-// in time order because everything runs on one engine).
-func (p *campaign) ingest(ev monitor.Event) { p.coal.Ingest(ev) }
+// ingest forwards an event into the incident coalescer and appends it
+// to the operations ledger (events arrive in time order because
+// everything runs on one engine).
+func (p *campaign) ingest(ev monitor.Event) {
+	p.coal.Ingest(ev)
+	p.opAppend(ev.At, ev.Component, ev.Class.String(), ev.Kind, "")
+}
+
+// opAppend records one ledger entry. The ledger refuses out-of-order
+// or post-close appends as errors, never panics; on one engine those
+// cannot happen, so a refusal is counted and surfaced in the report
+// (and would trip the BENCH_ledger gate) rather than dropped silently.
+func (p *campaign) opAppend(at sim.Time, actor, class, action, detail string) {
+	if err := p.ops.Append(at, actor, class, action, detail); err != nil {
+		p.rep.LedgerDrops++
+	}
+}
 
 func (p *campaign) emit(component string, class monitor.EventClass, kind string) {
 	p.ingest(monitor.Event{At: p.eng.Now(), Component: component, Class: class, Kind: kind})
@@ -442,6 +473,7 @@ func (p *campaign) startRouterBursts() {
 				p.eng.After(p.cfg.RouterRepair, func() {
 					f.RecoverRouter(deadRID)
 					p.graph.Recover(deadRoot)
+					p.opAppend(p.eng.Now(), deadRoot, "operator", "router-repaired", "")
 				})
 			}
 			next()
@@ -491,6 +523,7 @@ func (p *campaign) scheduleMDSOutage() {
 		p.graph.Fail(mdsName(fs))
 		p.eng.After(p.cfg.MDSOutageDuration, func() {
 			p.graph.Recover(mdsName(fs))
+			p.opAppend(p.eng.Now(), mdsName(fs), "operator", "mds-recovered", "")
 		})
 	})
 }
@@ -536,6 +569,7 @@ func (p *campaign) scheduleEnclosureLoss() {
 			member := 1
 			repair := func(tag string) func() {
 				return func() {
+					restocked := 0
 					for i, g := range groups {
 						if g.State() != raid.Degraded {
 							continue
@@ -543,7 +577,10 @@ func (p *campaign) scheduleEnclosureLoss() {
 						repl := disk.New(p.eng, 2_100_000+i, g.Disks()[member].Config(),
 							disk.Nominal(), src.Split(fmt.Sprintf("%s-%d", tag, i)))
 						g.StartRebuild(member, repl, nil)
+						restocked++
 					}
+					p.opAppend(p.eng.Now(), "enclosure1", "operator", "repair-sweep-"+tag,
+						fmt.Sprintf("%d degraded groups restocked", restocked))
 				}
 			}
 			p.eng.After(p.cfg.EnclosureRepair, repair("r1"))
@@ -590,6 +627,11 @@ func (p *campaign) startScrubbers() {
 				BatchPause:   p.cfg.ScrubPause,
 				PassInterval: p.cfg.ScrubInterval,
 			})
+			gn := p.grpName[g]
+			s.Escalate = func(lost int) {
+				p.opAppend(p.eng.Now(), gn, "integrity", "scrub-escalation",
+					fmt.Sprintf("%d stripes beyond parity", lost))
+			}
 			s.Start()
 			p.scrubbers = append(p.scrubbers, s)
 		}
@@ -690,6 +732,11 @@ func (p *campaign) finishReport() {
 			r.HardwareIncidents++
 		}
 	}
+	r.LedgerEntries = p.ops.Len()
+	r.LedgerAnchors = p.ops.AnchorCount()
+	r.LedgerRoots = p.ops.Roots()
+	r.LedgerHead = p.ops.Head()
+	r.Ops = p.ops.Export()
 	r.Components = p.ledger.Stats()
 	nOST, _, ostDown := p.ledger.KindDowntime(KindOST)
 	r.OSTs = nOST

@@ -1,0 +1,103 @@
+package chaos
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"spiderfs/internal/ledger"
+	"spiderfs/internal/rng"
+	"spiderfs/internal/spantrace"
+)
+
+// The operations-ledger determinism contract: the same configuration
+// produces byte-identical root sequences and head, the export audits
+// clean, and attaching the span tracer (an observer) leaves every root
+// untouched.
+func TestCampaignLedgerDeterministic(t *testing.T) {
+	r1 := featured(t)
+	r2 := Run(QuickConfig(testSeed))
+
+	if r1.LedgerEntries == 0 || r1.LedgerAnchors == 0 {
+		t.Fatalf("quick campaign appended %d entries in %d anchors, want both positive",
+			r1.LedgerEntries, r1.LedgerAnchors)
+	}
+	if r1.LedgerDrops != 0 {
+		t.Fatalf("ledger refused %d appends in a healthy run", r1.LedgerDrops)
+	}
+	if len(r1.LedgerRoots) != r1.LedgerAnchors {
+		t.Fatalf("%d roots for %d anchors", len(r1.LedgerRoots), r1.LedgerAnchors)
+	}
+
+	if r1.LedgerHead != r2.LedgerHead {
+		t.Fatalf("heads differ: %s vs %s", r1.LedgerHead, r2.LedgerHead)
+	}
+	if len(r1.LedgerRoots) != len(r2.LedgerRoots) {
+		t.Fatalf("root counts differ: %d vs %d", len(r1.LedgerRoots), len(r2.LedgerRoots))
+	}
+	for i := range r1.LedgerRoots {
+		if r1.LedgerRoots[i] != r2.LedgerRoots[i] {
+			t.Fatalf("root %d diverged: %s vs %s", i, r1.LedgerRoots[i], r2.LedgerRoots[i])
+		}
+	}
+	b1, err1 := json.Marshal(r1.Ops)
+	b2, err2 := json.Marshal(r2.Ops)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("export marshal: %v / %v", err1, err2)
+	}
+	if string(b1) != string(b2) {
+		t.Fatal("ledger exports are not byte-identical across runs")
+	}
+
+	// The tracer is an observer: arming it must not shift a single root.
+	cfg := QuickConfig(testSeed)
+	cfg.Tracer = spantrace.New(rng.New(99), 4)
+	r3 := Run(cfg)
+	if r3.LedgerHead != r1.LedgerHead {
+		t.Fatalf("traced head %s diverged from untraced %s", r3.LedgerHead, r1.LedgerHead)
+	}
+	for i := range r1.LedgerRoots {
+		if r3.LedgerRoots[i] != r1.LedgerRoots[i] {
+			t.Fatalf("traced root %d diverged", i)
+		}
+	}
+}
+
+// The campaign export must audit clean, chain every monitor event and
+// operator action, and carry the kinds the fault menu delivers.
+func TestCampaignLedgerAuditsCleanAndComplete(t *testing.T) {
+	r := featured(t)
+	if fs := ledger.Audit(r.Ops); len(fs) != 0 {
+		t.Fatalf("campaign ledger audit found %d findings: %v", len(fs), fs)
+	}
+	if r.Ops.Head != r.LedgerHead {
+		t.Fatalf("export head %s vs report head %s", r.Ops.Head, r.LedgerHead)
+	}
+	if len(r.Ops.Entries) != r.LedgerEntries {
+		t.Fatalf("export carries %d entries, report says %d", len(r.Ops.Entries), r.LedgerEntries)
+	}
+	// Every coalesced incident's underlying events funnel through the
+	// ledger, plus the operator actions — so the ledger is at least as
+	// busy as the incident stream.
+	if r.LedgerEntries < r.Incidents {
+		t.Fatalf("%d ledger entries for %d incidents", r.LedgerEntries, r.Incidents)
+	}
+	seen := map[string]bool{}
+	actors := map[string]bool{}
+	for _, e := range r.Ops.Entries {
+		seen[e.Action] = true
+		actors[e.Class] = true
+	}
+	for _, want := range []string{"oss-crash", "mds-outage", "mds-recovered", "router-repaired"} {
+		if !seen[want] {
+			keys := make([]string, 0, len(seen))
+			for k := range seen {
+				keys = append(keys, k)
+			}
+			t.Fatalf("ledger carries no %q action; saw %s", want, strings.Join(keys, ", "))
+		}
+	}
+	if !actors["operator"] || !actors["hardware"] {
+		t.Fatalf("ledger missing operator or hardware entry classes: %v", actors)
+	}
+}

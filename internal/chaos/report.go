@@ -6,6 +6,7 @@ import (
 	"math"
 	"strings"
 
+	"spiderfs/internal/ledger"
 	"spiderfs/internal/sim"
 )
 
@@ -79,6 +80,20 @@ type Report struct {
 	UnavailableProbes int
 	MeanProbeMBps     float64
 	MinProbeMBps      float64
+
+	// Operations ledger (internal/ledger): every monitor event, operator
+	// repair action, and scrub escalation, hash-chained and anchored
+	// under per-epoch Merkle roots. The root sequence and head extend
+	// the campaign fingerprint, so determinism regressions surface as
+	// root divergence. LedgerDrops counts appends the ledger refused
+	// (always zero in a healthy run). Ops carries the full export for
+	// auditing and incident replay.
+	LedgerEntries int
+	LedgerAnchors int
+	LedgerDrops   int
+	LedgerRoots   []string
+	LedgerHead    string
+	Ops           *ledger.Export
 
 	// Event-trace audit (populated when Config.TraceEvents is set):
 	// a fingerprint over every fired engine event's (time, seq) pair
@@ -193,6 +208,13 @@ func (r *Report) Fingerprint() uint64 {
 	i(r.UnavailableProbes)
 	f(r.MeanProbeMBps)
 	f(r.MinProbeMBps)
+	i(r.LedgerEntries)
+	i(r.LedgerAnchors)
+	i(r.LedgerDrops)
+	for _, root := range r.LedgerRoots {
+		h.Write([]byte(root))
+	}
+	h.Write([]byte(r.LedgerHead))
 	u(r.EventTrace)
 	u(r.TraceEvents)
 	for _, c := range r.Components {
@@ -239,6 +261,8 @@ func (r *Report) String() string {
 		r.LatentDataLoss, r.UndetectedCorruptReads, r.RebuildLatentHits, r.ReadEIOs)
 	fmt.Fprintf(&b, "monitoring: %d incidents coalesced (%d hardware-rooted)\n",
 		r.Incidents, r.HardwareIncidents)
+	fmt.Fprintf(&b, "operations ledger: %d entries in %d anchored batches (%d refused), head %.16s..\n",
+		r.LedgerEntries, r.LedgerAnchors, r.LedgerDrops, r.LedgerHead)
 	fmt.Fprintf(&b, "availability: %.5f (%v of OST downtime across %d OSTs)\n",
 		r.Availability, r.OSTDowntime, r.OSTs)
 	fmt.Fprintf(&b, "probes: %d completed of %d (stalled %d, namespace-unavailable %d); "+

@@ -63,6 +63,14 @@ type Scrubber struct {
 	ev      *sim.Event
 	running bool
 
+	// Escalate, when set, is invoked once per scrub batch that found
+	// stripes beyond parity, with the count of stripes this batch
+	// escalated as unrecoverable — the operations-ledger tap. The hook
+	// runs at the engine's current time, is never called with zero, and
+	// draws no randomness, so wiring it preserves the scrubber's
+	// perturbation-free contract.
+	Escalate func(lost int)
+
 	// Counters.
 	Passes          int   // full-device passes completed
 	ScannedStripes  int64 // stripes verified
@@ -128,6 +136,9 @@ func (s *Scrubber) batch() {
 		s.ScannedStripes += res.Scanned
 		s.Repairs += res.Repaired
 		s.Lost += res.Lost
+		if res.Lost > 0 && s.Escalate != nil {
+			s.Escalate(res.Lost)
+		}
 		if res.Rebuilding && (res.Repaired > 0 || res.Lost > 0) {
 			// Scrub-found defect with a rebuild in flight: the paper's
 			// double-failure window, seen from the scrubber's side.

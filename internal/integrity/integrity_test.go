@@ -93,6 +93,39 @@ func TestScrubberHaltsOnGroupFailure(t *testing.T) {
 	}
 }
 
+// TestScrubberEscalateHook plants more defects on one stripe than
+// parity can absorb and checks that the escalation hook reports
+// exactly what the Lost counter records — the operations-ledger tap.
+func TestScrubberEscalateHook(t *testing.T) {
+	eng, g := scrubGroup(t, 35)
+	// Three silent defects on the same stripe of a RAID-6 group: one
+	// beyond the two parity can reconstruct.
+	stripe := int64(100)
+	for _, m := range []int{2, 4, 6} {
+		g.Disks()[m].InjectError(stripe*g.Config().ChunkSize, disk.Silent)
+	}
+	s := New(eng, g, Config{BatchStripes: 512, BatchPause: sim.Second, PassInterval: sim.Hour})
+	escalated := 0
+	calls := 0
+	s.Escalate = func(lost int) {
+		if lost <= 0 {
+			t.Fatalf("Escalate called with lost=%d", lost)
+		}
+		escalated += lost
+		calls++
+	}
+	s.Start()
+	eng.RunFor(sim.Minute)
+	s.Stop()
+	eng.Run()
+	if s.Lost == 0 {
+		t.Fatal("planted triple-defect stripe was not escalated")
+	}
+	if escalated != s.Lost {
+		t.Fatalf("hook saw %d lost stripes across %d calls, counter says %d", escalated, calls, s.Lost)
+	}
+}
+
 func TestScrubberCountsRebuildOverlaps(t *testing.T) {
 	eng, g := scrubGroup(t, 34)
 	g.RebuildChunk = 8

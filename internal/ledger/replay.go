@@ -1,0 +1,78 @@
+package ledger
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"spiderfs/internal/sim"
+	"spiderfs/internal/trace"
+)
+
+// ReplayItem is one line of a reconstructed incident window: either a
+// ledger entry (what operations happened) or a spantrace span (what
+// the I/O path did underneath them), merged onto one timeline.
+type ReplayItem struct {
+	At     sim.Time `json:"at"`
+	Source string   `json:"source"` // "ledger" | "span"
+	Seq    int64    `json:"seq"`    // ledger seq, or span id
+	Text   string   `json:"text"`
+}
+
+// Replay joins the ledger's entries with a spantrace dump over the
+// simulated-time window [from, to]: every ledger entry stamped inside
+// the window, plus every span overlapping it (an open span counts as
+// overlapping). The result is time-sorted, ledger lines first on ties,
+// so an injected failure reads immediately above the retries and
+// reroutes it provoked — the span-by-span incident forensics view.
+func Replay(exp *Export, spans []trace.SpanRecord, from, to sim.Time) []ReplayItem {
+	var out []ReplayItem
+	for _, e := range exp.Entries {
+		if e.At < from || e.At > to {
+			continue
+		}
+		text := fmt.Sprintf("%s %s/%s", e.Actor, e.Class, e.Action)
+		if e.Detail != "" {
+			text += " — " + e.Detail
+		}
+		out = append(out, ReplayItem{At: e.At, Source: "ledger", Seq: int64(e.Seq), Text: text})
+	}
+	for _, s := range spans {
+		start, end := sim.Time(s.StartNS), sim.Time(s.EndNS)
+		if start > to || (s.EndNS >= 0 && end < from) {
+			continue
+		}
+		dur := "open"
+		if s.EndNS >= 0 {
+			dur = (end - start).String()
+		}
+		text := fmt.Sprintf("%s %s (%s", s.Layer, s.Op, dur)
+		if s.Bytes > 0 {
+			text += fmt.Sprintf(", %d B", s.Bytes)
+		}
+		text += ")"
+		if s.Detail != "" {
+			text += " — " + s.Detail
+		}
+		out = append(out, ReplayItem{At: start, Source: "span", Seq: int64(s.ID), Text: text})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		if out[i].Source != out[j].Source {
+			return out[i].Source == "ledger"
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// RenderReplay formats a replay for the terminal.
+func RenderReplay(items []ReplayItem) string {
+	var b strings.Builder
+	for _, it := range items {
+		fmt.Fprintf(&b, "%14v  %-6s  %s\n", it.At, it.Source, it.Text)
+	}
+	return b.String()
+}

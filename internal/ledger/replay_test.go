@@ -1,0 +1,60 @@
+package ledger
+
+import (
+	"strings"
+	"testing"
+
+	"spiderfs/internal/sim"
+	"spiderfs/internal/trace"
+)
+
+func TestReplayJoinsLedgerAndSpans(t *testing.T) {
+	l := New(Config{Epoch: sim.Hour})
+	mustAppend(t, l, 10*sim.Minute, "rtr3", "hardware", "cable-cut", "")
+	mustAppend(t, l, 70*sim.Minute, "rtr3", "operator", "router-repaired", "")
+	l.Close()
+
+	spans := []trace.SpanRecord{
+		{ID: 1, Layer: "client", Op: "rpc-retry", StartNS: int64(10 * sim.Minute), EndNS: int64(11 * sim.Minute), Bytes: 1 << 20},
+		{ID: 2, Layer: "lnet", Op: "reroute", StartNS: int64(12 * sim.Minute), EndNS: -1},
+		{ID: 3, Layer: "oss", Op: "write", StartNS: int64(90 * sim.Minute), EndNS: int64(91 * sim.Minute)},
+	}
+
+	items := Replay(l.Export(), spans, 0, sim.Hour)
+	if len(items) != 3 {
+		t.Fatalf("window [0,1h] joined %d items, want 3 (1 ledger + 2 spans): %v", len(items), items)
+	}
+	// Tie at 10m: the ledger line sorts before the span.
+	if items[0].Source != "ledger" || !strings.Contains(items[0].Text, "cable-cut") {
+		t.Errorf("item 0 = %+v, want the cable-cut ledger line", items[0])
+	}
+	if items[1].Source != "span" || !strings.Contains(items[1].Text, "rpc-retry") {
+		t.Errorf("item 1 = %+v, want the rpc-retry span", items[1])
+	}
+	if items[2].Source != "span" || !strings.Contains(items[2].Text, "open") {
+		t.Errorf("item 2 = %+v, want the still-open reroute span", items[2])
+	}
+	for i := 1; i < len(items); i++ {
+		if items[i].At < items[i-1].At {
+			t.Fatal("replay items not time-sorted")
+		}
+	}
+
+	// The later window picks up the repair, the write, and the reroute
+	// span that is still open across it — but not the closed cut.
+	late := Replay(l.Export(), spans, sim.Hour, 2*sim.Hour)
+	if len(late) != 3 {
+		t.Fatalf("window [1h,2h] joined %d items, want 3: %v", len(late), late)
+	}
+	if late[0].Source != "span" || !strings.Contains(late[0].Text, "reroute") {
+		t.Errorf("late item 0 = %+v, want the still-open reroute span", late[0])
+	}
+	if late[1].Source != "ledger" || !strings.Contains(late[1].Text, "router-repaired") {
+		t.Errorf("late item 1 = %+v, want the repair ledger line", late[1])
+	}
+
+	out := RenderReplay(items)
+	if !strings.Contains(out, "cable-cut") || !strings.Contains(out, "reroute") {
+		t.Errorf("render missing expected lines:\n%s", out)
+	}
+}

@@ -24,9 +24,11 @@ import (
 // or, for internal/serve, the session-confined worker seam: a service
 // goroutine may write only through its own session's lock or the
 // service mutex, so captured-state writes from go funclits are flagged
-// the same way.
+// the same way. internal/ledger is scoped too: the hash chain admits
+// exactly one appender, so a goroutine mutating captured ledger state
+// bypasses the single-writer seam even when a mutex makes it race-free.
 func shardScoped(m *Module, p *Package) bool {
-	for _, s := range []string{"/internal/shard", "/internal/sweep", "/internal/serve"} {
+	for _, s := range []string{"/internal/shard", "/internal/sweep", "/internal/serve", "/internal/ledger"} {
 		full := m.Path + s
 		if p.Path == full || strings.HasPrefix(p.Path, full+"/") {
 			return true

@@ -247,6 +247,8 @@ func markerCall(modpath string, callee *types.Func) (sinkInfo, bool) {
 		return mark("delivers cross-shard events")
 	case modpath + "/internal/serve":
 		return mark("feeds the session service API")
+	case modpath + "/internal/ledger":
+		return mark("appends operations-ledger entries")
 	case "fmt":
 		switch callee.Name() {
 		case "Fprint", "Fprintf", "Fprintln":

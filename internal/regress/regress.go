@@ -88,6 +88,8 @@ func Compare(artifact string, committed, fresh []byte) ([]Finding, error) {
 		return compareIntegrity(artifact, committed, fresh)
 	case "spiderfs-serve-bench/1":
 		return compareServe(artifact, committed, fresh)
+	case "spiderfs-ledger-bench/1":
+		return compareLedger(artifact, committed, fresh)
 	}
 	return nil, fmt.Errorf("regress %s: unknown schema %q", artifact, ch.Schema)
 }
@@ -364,6 +366,112 @@ func compareServe(artifact string, committed, fresh []byte) ([]Finding, error) {
 		if !found {
 			out = append(out, Finding{artifact, "serve-path",
 				fmt.Sprintf("execution path %s absent from fresh run", cp.Path)})
+		}
+	}
+	return out, nil
+}
+
+type ledgerDoc struct {
+	CampaignEntries int      `json:"campaign_entries"`
+	CampaignAnchors int      `json:"campaign_anchors"`
+	CampaignDrops   int      `json:"campaign_drops"`
+	CampaignRoots   []string `json:"campaign_roots"`
+	CampaignHead    string   `json:"campaign_head"`
+	Deterministic   bool     `json:"deterministic"`
+	TracedIdentical bool     `json:"traced_identical"`
+	AuditClean      bool     `json:"audit_clean"`
+	TamperTotal     int      `json:"tamper_total"`
+	TampersDetected int      `json:"tampers_detected"`
+	Tampers         []struct {
+		Name     string `json:"name"`
+		Detected bool   `json:"detected"`
+	} `json:"tampers"`
+	Batches []struct {
+		MaxBatch int    `json:"max_batch"`
+		Entries  int    `json:"entries"`
+		Anchors  int    `json:"anchors"`
+		Head     string `json:"head"`
+	} `json:"batches"`
+}
+
+// compareLedger gates BENCH_ledger.json. The root sequence, head, and
+// per-batch anchor heads are hash-exact: any divergence means the
+// operations ledger's determinism contract broke. The three booleans
+// and the full tamper scorecard are hard invariants of the fresh run.
+// The wall-clock throughput fields (append_ns, entries_per_sec) are
+// recorded, not gated.
+func compareLedger(artifact string, committed, fresh []byte) ([]Finding, error) {
+	var c, f ledgerDoc
+	if err := decodeBoth(artifact, committed, fresh, &c, &f); err != nil {
+		return nil, err
+	}
+	var out []Finding
+	if !f.Deterministic {
+		out = append(out, Finding{artifact, "ledger-deterministic",
+			"double-run campaign ledger exports are not byte-identical"})
+	}
+	if !f.TracedIdentical {
+		out = append(out, Finding{artifact, "ledger-traced",
+			"attaching the span tracer changed the anchored root sequence"})
+	}
+	if !f.AuditClean {
+		out = append(out, Finding{artifact, "ledger-audit",
+			"the untampered campaign export no longer audits clean"})
+	}
+	if f.CampaignEntries != c.CampaignEntries || f.CampaignAnchors != c.CampaignAnchors ||
+		f.CampaignDrops != c.CampaignDrops {
+		out = append(out, Finding{artifact, "ledger-counts",
+			fmt.Sprintf("entries/anchors/drops %d/%d/%d != committed %d/%d/%d",
+				f.CampaignEntries, f.CampaignAnchors, f.CampaignDrops,
+				c.CampaignEntries, c.CampaignAnchors, c.CampaignDrops)})
+	}
+	if f.CampaignHead != c.CampaignHead {
+		out = append(out, Finding{artifact, "ledger-head",
+			fmt.Sprintf("campaign head %.16s.. != committed %.16s.. (exact identity required)",
+				f.CampaignHead, c.CampaignHead)})
+	}
+	if len(f.CampaignRoots) != len(c.CampaignRoots) {
+		out = append(out, Finding{artifact, "ledger-roots",
+			fmt.Sprintf("%d roots != committed %d", len(f.CampaignRoots), len(c.CampaignRoots))})
+	} else {
+		for i := range c.CampaignRoots {
+			if f.CampaignRoots[i] != c.CampaignRoots[i] {
+				out = append(out, Finding{artifact, "ledger-roots",
+					fmt.Sprintf("root %d %.16s.. != committed %.16s.. (first divergence)",
+						i, f.CampaignRoots[i], c.CampaignRoots[i])})
+				break
+			}
+		}
+	}
+	if f.TamperTotal < c.TamperTotal || f.TampersDetected != f.TamperTotal {
+		out = append(out, Finding{artifact, "ledger-tampers",
+			fmt.Sprintf("tampers detected %d of %d (committed %d of %d): the auditor lost coverage",
+				f.TampersDetected, f.TamperTotal, c.TampersDetected, c.TamperTotal)})
+	}
+	for _, ft := range f.Tampers {
+		if !ft.Detected {
+			out = append(out, Finding{artifact, "ledger-tampers",
+				fmt.Sprintf("tamper class %s went undetected", ft.Name)})
+		}
+	}
+	for _, cb := range c.Batches {
+		found := false
+		for _, fb := range f.Batches {
+			if fb.MaxBatch != cb.MaxBatch {
+				continue
+			}
+			found = true
+			if fb.Entries != cb.Entries || fb.Anchors != cb.Anchors || fb.Head != cb.Head {
+				out = append(out, Finding{artifact, "ledger-batch",
+					fmt.Sprintf("max_batch %d: %d entries/%d anchors head %.16s.. != committed %d/%d head %.16s..",
+						cb.MaxBatch, fb.Entries, fb.Anchors, fb.Head,
+						cb.Entries, cb.Anchors, cb.Head)})
+			}
+			break
+		}
+		if !found {
+			out = append(out, Finding{artifact, "ledger-batch",
+				fmt.Sprintf("max_batch %d point absent from fresh run", cb.MaxBatch)})
 		}
 	}
 	return out, nil

@@ -120,6 +120,7 @@ func TestIdenticalArtifactsPass(t *testing.T) {
 		{"BENCH_sweep.json", sweepCommitted},
 		{"BENCH_integrity.json", integrityCommitted},
 		{"BENCH_serve.json", serveCommitted},
+		{"BENCH_ledger.json", ledgerCommitted},
 	} {
 		if out := mustCompare(t, c.name, c.doc, c.doc); len(out) != 0 {
 			t.Errorf("%s vs itself: %v", c.name, out)
@@ -303,5 +304,80 @@ func TestSchemaMismatchAndErrors(t *testing.T) {
 	}
 	if _, err := Compare("x.json", []byte(`{"schema":"nope/9"}`), []byte(`{"schema":"nope/9"}`)); err == nil {
 		t.Error("unknown schema should error")
+	}
+}
+
+const ledgerCommitted = `{
+  "schema": "spiderfs-ledger-bench/1",
+  "cpus": 8,
+  "seed": 7,
+  "campaign_entries": 42,
+  "campaign_anchors": 14,
+  "campaign_drops": 0,
+  "campaign_roots": ["aaaa000000000001", "aaaa000000000002"],
+  "campaign_head": "b6e21a5d6da66887",
+  "deterministic": true,
+  "traced_identical": true,
+  "audit_clean": true,
+  "tamper_total": 5,
+  "tampers_detected": 5,
+  "tampers": [
+    {"name": "entry-mutation", "detected": true, "class": "entry-mutation", "epoch": 5},
+    {"name": "entry-deletion", "detected": true, "class": "sequence-gap", "epoch": 8},
+    {"name": "chain-truncation", "detected": true, "class": "history-truncation", "epoch": 12},
+    {"name": "batch-reorder", "detected": true, "class": "anchor-break", "epoch": 2},
+    {"name": "forged-suffix", "detected": true, "class": "root-divergence", "epoch": 12}
+  ],
+  "batches": [
+    {"max_batch": 64, "entries": 8192, "anchors": 128, "head": "cccc000000000064", "append_ns": 4100000, "entries_per_sec": 1998048.0},
+    {"max_batch": 4096, "entries": 8192, "anchors": 3, "head": "cccc000000004096", "append_ns": 3900000, "entries_per_sec": 2100512.0}
+  ]
+}`
+
+// TestLedgerGates is the sabotage suite for BENCH_ledger.json: a
+// shifted root or head, a lost determinism/audit property, an
+// undetected tamper class, or a drifted batch anchor head must each
+// trip its gate, while wall-clock throughput drift passes.
+func TestLedgerGates(t *testing.T) {
+	drift := strings.Replace(ledgerCommitted, `"campaign_head": "b6e21a5d6da66887"`,
+		`"campaign_head": "deadbeefdeadbeef"`, 1)
+	wantCheck(t, mustCompare(t, "BENCH_ledger.json", ledgerCommitted, drift), "ledger-head")
+
+	root := strings.Replace(ledgerCommitted, `"aaaa000000000002"`, `"aaaa00000000beef"`, 1)
+	wantCheck(t, mustCompare(t, "BENCH_ledger.json", ledgerCommitted, root), "ledger-roots")
+
+	nondet := strings.Replace(ledgerCommitted, `"deterministic": true`, `"deterministic": false`, 1)
+	wantCheck(t, mustCompare(t, "BENCH_ledger.json", ledgerCommitted, nondet), "ledger-deterministic")
+
+	traced := strings.Replace(ledgerCommitted, `"traced_identical": true`, `"traced_identical": false`, 1)
+	wantCheck(t, mustCompare(t, "BENCH_ledger.json", ledgerCommitted, traced), "ledger-traced")
+
+	dirty := strings.Replace(ledgerCommitted, `"audit_clean": true`, `"audit_clean": false`, 1)
+	wantCheck(t, mustCompare(t, "BENCH_ledger.json", ledgerCommitted, dirty), "ledger-audit")
+
+	missed := strings.Replace(ledgerCommitted, `"tampers_detected": 5`, `"tampers_detected": 4`, 1)
+	missed = strings.Replace(missed,
+		`{"name": "forged-suffix", "detected": true`, `{"name": "forged-suffix", "detected": false`, 1)
+	wantCheck(t, mustCompare(t, "BENCH_ledger.json", ledgerCommitted, missed), "ledger-tampers")
+
+	counts := strings.Replace(ledgerCommitted, `"campaign_entries": 42`, `"campaign_entries": 41`, 1)
+	wantCheck(t, mustCompare(t, "BENCH_ledger.json", ledgerCommitted, counts), "ledger-counts")
+
+	batch := strings.Replace(ledgerCommitted, `"head": "cccc000000004096"`,
+		`"head": "cccc0000dead4096"`, 1)
+	wantCheck(t, mustCompare(t, "BENCH_ledger.json", ledgerCommitted, batch), "ledger-batch")
+
+	gone := strings.Replace(ledgerCommitted,
+		`{"max_batch": 4096, "entries": 8192, "anchors": 3, "head": "cccc000000004096", "append_ns": 3900000, "entries_per_sec": 2100512.0}`,
+		``, 1)
+	gone = strings.Replace(gone, `, "entries_per_sec": 1998048.0},`, `, "entries_per_sec": 1998048.0}`, 1)
+	wantCheck(t, mustCompare(t, "BENCH_ledger.json", ledgerCommitted, gone), "ledger-batch")
+
+	// Wall-clock throughput drift on an otherwise identical artifact
+	// passes: append_ns and entries_per_sec are recorded, not gated.
+	wall := strings.Replace(ledgerCommitted, `"append_ns": 4100000`, `"append_ns": 9900000`, 1)
+	wall = strings.Replace(wall, `"entries_per_sec": 1998048.0`, `"entries_per_sec": 820000.0`, 1)
+	if out := mustCompare(t, "BENCH_ledger.json", ledgerCommitted, wall); len(out) != 0 {
+		t.Errorf("wall-clock drift tripped the gate: %v", out)
 	}
 }

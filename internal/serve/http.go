@@ -15,6 +15,9 @@ import (
 //	GET  /v1/sessions/{id}/events  chunked progress stream (ndjson),
 //	                               ?seq=N resumes past the first N events
 //	GET  /v1/sessions/{id}/report  final report (202 while running)
+//	GET  /v1/sessions/{id}/ledger  session operations-ledger export
+//	                               (202 while running, 404 for kinds
+//	                               that keep none)
 //	GET  /v1/stats                 service counters; ?sessions=1 lists all
 //
 // Every response is JSON; no handler blocks past its own session's
@@ -25,6 +28,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSession)
 	mux.HandleFunc("GET /v1/sessions/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/sessions/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /v1/sessions/{id}/ledger", s.handleLedger)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return mux
 }
@@ -135,6 +139,32 @@ func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write(data)
+	case StateFailed:
+		writeJSON(w, http.StatusUnprocessableEntity, apiError{Error: snap.Error})
+	default:
+		writeJSON(w, http.StatusAccepted, snap)
+	}
+}
+
+// handleLedger serves the finished session's tamper-evident
+// operations-ledger export, ready for `spidersim ledger verify`
+// against a trusted root sequence. Sweep sessions keep no ledger and
+// answer 404.
+func (s *Service) handleLedger(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	snap := sess.Snapshot()
+	switch snap.State {
+	case StateDone:
+		rep, _ := sess.Report()
+		if rep.Ledger == nil {
+			writeJSON(w, http.StatusNotFound,
+				apiError{Error: rep.Kind + " sessions keep no operations ledger"})
+			return
+		}
+		writeJSON(w, http.StatusOK, rep.Ledger)
 	case StateFailed:
 		writeJSON(w, http.StatusUnprocessableEntity, apiError{Error: snap.Error})
 	default:

@@ -10,6 +10,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"spiderfs/internal/ledger"
 )
 
 func postSpec(t *testing.T, ts *httptest.Server, body string) (*http.Response, Snapshot) {
@@ -221,5 +223,84 @@ func TestHTTPBackpressure429(t *testing.T) {
 	gate <- struct{}{}
 	if sess, ok := svc.Session(blocker.ID); ok {
 		_, _ = sess.Wait()
+	}
+}
+
+// TestHTTPLedgerEndpoint pulls a finished workload session's
+// operations-ledger export, audits it clean, and byte-compares it
+// against the solo run's — then checks that sweep sessions (which keep
+// no ledger) answer 404.
+func TestHTTPLedgerEndpoint(t *testing.T) {
+	svc := New(Config{Workers: 1, PoolSize: 1, QueueDepth: 8, Sweeps: toyCatalog()})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	_, snap := postSpec(t, ts, `{"kind":"workload","seed":42,"waves":2,"flows":64,"bytes":4e6}`)
+	sess, ok := svc.Session(snap.ID)
+	if !ok {
+		t.Fatal("session vanished")
+	}
+	if _, err := sess.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/sessions/" + snap.ID + "/ledger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ledger status %d: %s", resp.StatusCode, body)
+	}
+	var exp ledger.Export
+	if err := json.Unmarshal(body, &exp); err != nil {
+		t.Fatalf("ledger export does not decode: %v", err)
+	}
+	if fs := ledger.Audit(&exp); len(fs) != 0 {
+		t.Fatalf("served ledger audit found %v", fs)
+	}
+	if len(exp.Entries) != 2 || len(exp.Anchors) != 2 {
+		t.Fatalf("2-wave session served %d entries in %d anchors, want 2/2",
+			len(exp.Entries), len(exp.Anchors))
+	}
+
+	// Byte-identical to the solo run's export — the pooled-replay half
+	// of the ledger determinism contract.
+	want, err := RunSolo(Spec{Kind: "workload", Seed: 42, Waves: 2, Flows: 64, Bytes: 4e6}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(want.Ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := json.Marshal(&exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Fatalf("served ledger differs from solo run:\n%s\nvs\n%s", gotJSON, wantJSON)
+	}
+
+	// Sweep sessions keep no ledger: 404.
+	_, sw := postSpec(t, ts, `{"kind":"sweep","seed":11,"sweep":"toy"}`)
+	if sess, ok := svc.Session(sw.ID); ok {
+		if _, err := sess.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err = http.Get(ts.URL + "/v1/sessions/" + sw.ID + "/ledger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("sweep ledger status %d, want 404", resp.StatusCode)
 	}
 }

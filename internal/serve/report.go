@@ -3,6 +3,8 @@ package serve
 import (
 	"encoding/json"
 	"math"
+
+	"spiderfs/internal/ledger"
 )
 
 // Metric is one named scalar of a session report, kept in a fixed
@@ -22,6 +24,16 @@ type Report struct {
 	Seed        uint64   `json:"seed"`
 	Fingerprint string   `json:"fingerprint"`
 	Metrics     []Metric `json:"metrics"`
+
+	// Ledger is the session's tamper-evident operations ledger —
+	// per-wave milestones for workload sessions, the full campaign
+	// export for chaos sessions, absent for sweep sessions. It is
+	// deterministic (entry hashes derive from simulated time only) but
+	// deliberately not folded into Fingerprint: the fingerprint pins the
+	// model outcome, the ledger pins the operational narrative, and the
+	// auditor — not the fingerprint — is what proves the narrative
+	// untampered.
+	Ledger *ledger.Export `json:"ledger,omitempty"`
 }
 
 // Metric returns the named metric's value, or (0, false).

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"spiderfs/internal/chaos"
+	"spiderfs/internal/ledger"
 	"spiderfs/internal/netsim"
 	"spiderfs/internal/rng"
 	"spiderfs/internal/sim"
@@ -69,16 +70,28 @@ func runWorkload(eng *sim.Engine, fab *netsim.Fabric, spec Spec, note func(strin
 	src := rng.New(spec.Seed).Split("serve/workload")
 	tor := fab.Cfg.Torus
 	nodes, nOSS := tor.Nodes(), fab.NumOSS()
+	// The session ledger records one milestone per drained wave at
+	// simulated time, then anchors each as its own Merkle batch — so a
+	// pooled replay of the same spec yields byte-identical roots (the
+	// engine clock resets with the instance). Appends at the monotone
+	// engine clock on an open ledger cannot fail, so the error is
+	// discarded; the ledger never perturbs the run.
+	ops := ledger.New(ledger.Config{})
 	for w := 0; w < spec.Waves; w++ {
 		for i := 0; i < spec.Flows; i++ {
 			c := tor.CoordOf(src.Intn(nodes))
 			fab.StartClientFlow(c, src.Intn(nOSS), netsim.RouteFGR, spec.Bytes, src, nil)
 		}
 		eng.Run()
+		_ = ops.Append(eng.Now(), spec.Key(), "workload",
+			fmt.Sprintf("wave-%d-drained", w+1),
+			fmt.Sprintf("%d flows, %d total events fired", spec.Flows, eng.Fired()))
+		ops.Seal()
 		if note != nil {
 			note(fmt.Sprintf("wave %d/%d drained", w+1, spec.Waves))
 		}
 	}
+	ops.Close()
 	eng.SetTrace(nil)
 
 	fp := newFingerprinter()
@@ -98,6 +111,7 @@ func runWorkload(eng *sim.Engine, fab *netsim.Fabric, spec Spec, note func(strin
 			{Name: "stalled_sends", Value: float64(fab.StalledSends)},
 			{Name: "dropped_flows", Value: float64(fab.DroppedFlows)},
 		},
+		Ledger: ops.Export(),
 	}
 }
 
@@ -123,6 +137,7 @@ func runChaos(spec Spec) *Report {
 			{Name: "dropped_flows", Value: float64(rep.DroppedFlows)},
 			{Name: "incidents", Value: float64(rep.Incidents)},
 		},
+		Ledger: rep.Ops,
 	}
 }
 

@@ -50,13 +50,13 @@ stage_test() {
 	# two in-process runs already; -count=2 additionally reruns each
 	# comparison in a fresh map-randomization schedule. The sweep and
 	# shard runners' serial-vs-parallel double-runs ride the same gate.
-	go test -count=2 -run 'Deterministic' ./internal/netsim/ ./internal/chaos/ ./internal/sweep/ ./internal/benchsuite/ ./internal/integrity/ ./internal/shard/ ./internal/serve/
+	go test -count=2 -run 'Deterministic' ./internal/netsim/ ./internal/chaos/ ./internal/sweep/ ./internal/benchsuite/ ./internal/integrity/ ./internal/shard/ ./internal/serve/ ./internal/ledger/
 	set +x
 }
 
 stage_race() {
 	set -x
-	go test -race ./internal/chaos/... ./internal/failure/... ./internal/sim/... ./internal/netsim/... ./internal/spantrace/... ./internal/sweep/... ./internal/integrity/... ./internal/shard/... ./internal/serve/...
+	go test -race ./internal/chaos/... ./internal/failure/... ./internal/sim/... ./internal/netsim/... ./internal/spantrace/... ./internal/sweep/... ./internal/integrity/... ./internal/shard/... ./internal/serve/... ./internal/ledger/...
 	set +x
 }
 
